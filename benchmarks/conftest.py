@@ -1,0 +1,41 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``test_table*.py`` regenerates one of the paper's experiment
+tables (II–V) on the benchmark suite, times it with pytest-benchmark,
+writes the formatted table under ``benchmarks/results/``, and asserts
+the qualitative *shape* the paper reports (see EXPERIMENTS.md).
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict
+
+import pytest
+
+from repro.bench.suite import benchmark_suite, build_benchmark
+from repro.network.network import Network
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite() -> Dict[str, Network]:
+    """The quick suite (fresh copies are taken per run by the harness)."""
+    return {
+        name: build_benchmark(name)
+        for name in benchmark_suite(quick=True)
+    }
+
+
+@pytest.fixture(scope="session")
+def full_suite() -> Dict[str, Network]:
+    return {name: build_benchmark(name) for name in benchmark_suite()}
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,60 @@
+"""Ablation D: division-engine comparison (related-work baselines).
+
+Pits the paper's RAR substitution against the three prior Boolean
+division routes its introduction surveys — espresso-with-don't-cares,
+Stanion/Sechen BDD division, and Hsu/Shen coalgebraic division — plus
+the plain algebraic resub, all with the same factored-literal
+acceptance rule.
+"""
+
+import time
+
+from conftest import write_result
+
+from repro.baselines import (
+    bdd_substitution,
+    coalgebraic_substitution,
+    espresso_substitution,
+)
+from repro.circuit.mapback import network_redundancy_removal
+from repro.core.config import EXTENDED
+from repro.core.substitution import substitute_network
+from repro.network.factor import network_literals
+from repro.network.resub import resub
+from repro.network.verify import networks_equivalent
+
+ENGINES = [
+    ("algebraic", resub),
+    ("coalgebraic", coalgebraic_substitution),
+    ("espresso-dc", espresso_substitution),
+    ("bdd-gcf", bdd_substitution),
+    # Classical RAR cleanup alone (no divisor) — shows how much of the
+    # win comes from the division framing vs plain redundancy removal.
+    ("rar-cleanup", network_redundancy_removal),
+    ("rar-ext", lambda net: substitute_network(net, EXTENDED)),
+]
+
+
+def run_engines(suite):
+    rows = []
+    for label, engine in ENGINES:
+        total = 0
+        start = time.perf_counter()
+        for net in suite.values():
+            working = net.copy()
+            engine(working)
+            assert networks_equivalent(net, working), label
+            total += network_literals(working)
+        rows.append((label, total, time.perf_counter() - start))
+    return rows
+
+
+def test_division_engine_comparison(benchmark, suite):
+    rows = benchmark.pedantic(run_engines, args=(suite,), rounds=1, iterations=1)
+    lines = ["== Ablation D: division engines =="]
+    for label, total, cpu in rows:
+        lines.append(f"{label:12s}  literals {total:5d}   cpu {cpu:6.2f}s")
+    write_result("ablation_engines.txt", "\n".join(lines))
+    by_label = {label: total for label, total, _ in rows}
+    # The RAR method should at least match the algebraic baseline.
+    assert by_label["rar-ext"] <= by_label["algebraic"]

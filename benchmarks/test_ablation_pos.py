@@ -1,0 +1,42 @@
+"""Ablation A: value of the product-of-sums division path.
+
+The paper argues operating on circuit structure makes POS-form
+substitution as easy as SOP-form.  This ablation disables the POS and
+complement attempts to measure what they contribute.
+"""
+
+from conftest import write_result
+
+from repro.core.config import DivisionConfig
+from repro.core.substitution import substitute_network
+from repro.network.factor import network_literals
+
+FULL = DivisionConfig(mode="basic", try_pos=True, try_complement=True)
+SOP_ONLY = DivisionConfig(mode="basic", try_pos=False, try_complement=False)
+
+
+def run_variant(suite, config):
+    totals = {}
+    for name, net in suite.items():
+        working = net.copy()
+        substitute_network(working, config)
+        totals[name] = network_literals(working)
+    return totals
+
+
+def test_pos_and_complement_help(benchmark, suite):
+    full = benchmark.pedantic(
+        run_variant, args=(suite, FULL), rounds=1, iterations=1
+    )
+    sop_only = run_variant(suite, SOP_ONLY)
+    lines = ["== Ablation A: SOP-only vs full (POS + complement) =="]
+    for name in suite:
+        lines.append(
+            f"{name:8s}  sop-only {sop_only[name]:4d}   full {full[name]:4d}"
+        )
+    lines.append(
+        f"total     sop-only {sum(sop_only.values()):4d}   "
+        f"full {sum(full.values()):4d}"
+    )
+    write_result("ablation_pos.txt", "\n".join(lines))
+    assert sum(full.values()) <= sum(sop_only.values())

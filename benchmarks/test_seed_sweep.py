@@ -1,0 +1,85 @@
+"""Robustness sweep: the headline shape across fresh random circuits.
+
+The fixed suite could in principle be cherry-picked; this sweep draws
+12 fresh planted networks (6 SOP-structured, 6 POS-structured) from
+seeds disjoint from the suite's, runs Script A + one substitution pass
+per method, and checks the aggregate ordering:
+
+    algebraic resub  <=  basic  <=  ext   (in literals saved)
+
+plus reports per-seed win/tie/loss counts for RAR vs the baseline.
+"""
+
+from conftest import write_result
+
+from repro.bench.generators import planted_network, planted_pos_network
+from repro.core.config import BASIC, EXTENDED
+from repro.core.substitution import substitute_network
+from repro.network.factor import network_literals
+from repro.network.resub import resub
+from repro.network.verify import networks_equivalent
+from repro.scripts.flows import script_a
+
+SOP_SEEDS = [1009, 2003, 3001, 4001, 5003, 6007]
+POS_SEEDS = [411, 523, 631, 741, 853, 967]
+
+
+def run_sweep():
+    rows = []
+    for seed in SOP_SEEDS:
+        rows.append(("sop", seed, planted_network(f"s{seed}", seed=seed)))
+    for seed in POS_SEEDS:
+        rows.append(
+            ("pos", seed, planted_pos_network(f"p{seed}", seed=seed))
+        )
+    results = []
+    for kind, seed, net in rows:
+        reference = net.copy()
+        script_a(net)
+        initial = network_literals(net)
+        row = {"kind": kind, "seed": seed, "initial": initial}
+        for label, method in (
+            ("sis", resub),
+            ("basic", lambda n: substitute_network(n, BASIC)),
+            ("ext", lambda n: substitute_network(n, EXTENDED)),
+        ):
+            working = net.copy()
+            method(working)
+            assert networks_equivalent(net, working), (label, seed)
+            row[label] = network_literals(working)
+        results.append(row)
+    return results
+
+
+def test_seed_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = ["== Seed sweep: fresh random circuits ==",
+             "kind seed     init   sis  basic   ext"]
+    totals = {"initial": 0, "sis": 0, "basic": 0, "ext": 0}
+    wins = ties = losses = 0
+    for row in results:
+        lines.append(
+            f"{row['kind']:4s} {row['seed']:5d}  {row['initial']:5d} "
+            f"{row['sis']:5d} {row['basic']:6d} {row['ext']:5d}"
+        )
+        for key in totals:
+            totals[key] += row[key if key != "initial" else "initial"]
+        if row["basic"] < row["sis"]:
+            wins += 1
+        elif row["basic"] == row["sis"]:
+            ties += 1
+        else:
+            losses += 1
+    lines.append(
+        f"totals      {totals['initial']:7d} {totals['sis']:5d} "
+        f"{totals['basic']:6d} {totals['ext']:5d}"
+    )
+    lines.append(f"basic vs sis: {wins} wins, {ties} ties, {losses} losses")
+    write_result("seed_sweep.txt", "\n".join(lines))
+
+    # Aggregate shape: RAR saves at least as much as the baseline, and
+    # wins strictly overall; per-seed losses (greedy path-dependence)
+    # must stay a minority.
+    assert totals["basic"] <= totals["sis"]
+    assert totals["ext"] <= totals["sis"]
+    assert wins > losses

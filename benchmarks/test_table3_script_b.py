@@ -1,0 +1,27 @@
+"""Table III: one substitution run after Script B (…; gcx).
+
+Same column structure and winner ordering as Table II, from circuits
+prepared with common-cube extraction.
+"""
+
+from conftest import write_result
+
+from repro.scripts.flows import run_script_table
+from repro.scripts.tables import format_table
+
+METHODS = ["sis", "basic", "ext", "ext_gdc"]
+
+
+def test_table3_script_b(benchmark, suite):
+    result = benchmark.pedantic(
+        run_script_table,
+        args=(suite, "B", METHODS),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table3_script_b.txt", format_table(result))
+
+    assert result.total_literals("basic") <= result.total_literals("sis")
+    assert result.total_literals("ext") <= result.total_literals("basic")
+    assert result.total_literals("ext_gdc") <= result.total_literals("sis")
+    assert result.improvement("ext") >= result.improvement("sis")

@@ -1,0 +1,28 @@
+"""Table V: the full script.algebraic flow with resub swapped per method.
+
+The paper's anomaly is reproduced qualitatively: inside a long greedy
+flow, ext-GDC may *underperform* plain ext on some circuits (locally
+greedy first-positive-gain acceptance), while all RAR configurations
+still beat the algebraic flow in total.
+"""
+
+from conftest import write_result
+
+from repro.scripts.flows import run_script_algebraic_table
+from repro.scripts.tables import format_table
+
+METHODS = ["sis", "basic", "ext", "ext_gdc"]
+
+
+def test_table5_script_algebraic(benchmark, suite):
+    result = benchmark.pedantic(
+        run_script_algebraic_table,
+        args=(suite, METHODS),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table5_script_algebraic.txt", format_table(result))
+
+    assert result.total_literals("basic") <= result.total_literals("sis")
+    assert result.total_literals("ext") <= result.total_literals("sis")
+    assert result.total_literals("ext_gdc") <= result.total_literals("sis")

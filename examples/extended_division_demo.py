@@ -1,0 +1,64 @@
+"""Extended division walk-through (the paper's Section IV / Fig. 3).
+
+A useful sub-expression can be buried inside a bigger divisor node.
+Basic division by the whole node fails, but *extended* division lets
+every dividend wire vote (via fault implications) for the divisor
+cubes that would remove it, filters infeasible votes, and picks the
+core by maximum clique — then decomposes the divisor and divides by
+the exposed core.
+
+This script prints the vote table, the clique choice, and the final
+decomposed network for a fat-divisor scenario.
+
+Run:  python examples/extended_division_demo.py
+"""
+
+from repro import EXTENDED, Network, networks_equivalent, substitute_network
+from repro.core.extended import build_vote_table, choose_core_divisor
+
+
+def build() -> Network:
+    net = Network("fig3-style")
+    for pi in "abcdefxy":
+        net.add_pi(pi)
+    # The divisor carries the useful core (ab + cd) plus an extra cube.
+    net.parse_node("g", "ab + cd + ef", list("abcdef"))
+    # Two targets are divisible by the core but not by g as a whole.
+    net.parse_node("f1", "abx + cdx + a'y", ["a", "b", "c", "d", "x", "y"])
+    net.parse_node("f2", "aby + cdy", ["a", "b", "c", "d", "y"])
+    for po in ("f1", "f2", "g"):
+        net.add_po(po)
+    return net
+
+
+def main() -> None:
+    net = build()
+    print("initial network:")
+    for node in net.internal_nodes():
+        print("  " + node.to_str())
+
+    table = build_vote_table(net, "f1", ["g"], EXTENDED)
+    print("\n" + table.to_str())
+
+    choice = choose_core_divisor(table, EXTENDED)
+    print(
+        f"\nmaximum clique selects core divisor: cubes "
+        f"{list(choice.cube_indices)} of node {choice.divisor_name} "
+        f"(expected to remove {len(choice.supporting_wires)} wires)"
+    )
+
+    optimized = build()
+    stats = substitute_network(optimized, EXTENDED)
+    print(
+        f"\nafter extended substitution "
+        f"({stats.literals_before} -> {stats.literals_after} literals, "
+        f"{stats.cores_extracted} core extracted):"
+    )
+    for node in optimized.internal_nodes():
+        print("  " + node.to_str())
+    assert networks_equivalent(build(), optimized)
+    print("\nequivalence verified with BDDs")
+
+
+if __name__ == "__main__":
+    main()

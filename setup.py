@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+A legacy setup.py is used (rather than PEP 621 metadata plus a
+[build-system] table) so that editable installs work in fully offline
+environments that lack the `wheel` package: pip then falls back to the
+classic `setup.py develop` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Boolean division and substitution via redundancy addition and "
+        "removal (Chang & Cheng, DAC 1998 / TCAD 1999)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["networkx"],
+    entry_points={"console_scripts": ["repro-bench=repro.cli:main"]},
+)

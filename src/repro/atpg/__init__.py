@@ -1,0 +1,42 @@
+"""Testing-based machinery: implications, faults, redundancy.
+
+The Boolean power of the paper's division algorithm comes entirely
+from here: a stuck-at fault whose mandatory assignments imply a
+conflict is untestable, and an untestable fault means the wire can be
+replaced by a constant — i.e. removed.
+
+* :mod:`repro.atpg.implication` — three-valued direct implication
+  engine over :class:`repro.circuit.Circuit` with conflict detection,
+* :mod:`repro.atpg.learning` — one-level recursive learning, the
+  adjustable "more don't cares for more run time" knob of Section V,
+* :mod:`repro.atpg.fault` — stuck-at faults and mandatory assignments,
+* :mod:`repro.atpg.redundancy` — generic redundancy identification and
+  removal for circuits (the classical RAR substrate of Section II).
+"""
+
+from repro.atpg.implication import ImplicationEngine, Conflict
+from repro.atpg.fault import StuckAtFault, mandatory_assignments
+from repro.atpg.redundancy import wire_is_redundant, redundancy_removal
+from repro.atpg.learning import learn_implications
+from repro.atpg.simulate import (
+    fault_coverage,
+    faulty_evaluate,
+    find_test_exhaustive,
+)
+from repro.atpg.dalg import generate_test, prove_redundant, build_miter
+
+__all__ = [
+    "ImplicationEngine",
+    "Conflict",
+    "StuckAtFault",
+    "mandatory_assignments",
+    "wire_is_redundant",
+    "redundancy_removal",
+    "learn_implications",
+    "fault_coverage",
+    "faulty_evaluate",
+    "find_test_exhaustive",
+    "generate_test",
+    "prove_redundant",
+    "build_miter",
+]

@@ -1,0 +1,116 @@
+"""Stuck-at faults and their mandatory assignments.
+
+A wire is an input edge of a gate.  The mandatory assignments of a
+stuck-at fault are values every test vector must produce in the good
+circuit: the activation value at the fault site, plus non-controlling
+side-input values along the propagation path while that path is
+unique.  If the mandatory assignments are contradictory, no test
+exists and the fault is untestable (hence the wire is redundant).
+
+Using only *necessary* conditions keeps the check sound: a conflict
+genuinely proves untestability, while the absence of a conflict proves
+nothing (the classical one-sidedness all RAR methods rely on).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gate import GateKind
+
+
+class StuckAtFault:
+    """Stuck-at fault on an input edge of a gate."""
+
+    __slots__ = ("gate", "input_index", "stuck_value")
+
+    def __init__(self, gate: str, input_index: int, stuck_value: bool):
+        self.gate = gate
+        self.input_index = input_index
+        self.stuck_value = stuck_value
+
+    def __repr__(self) -> str:
+        return (
+            f"StuckAtFault({self.gate}[{self.input_index}] "
+            f"s-a-{int(self.stuck_value)})"
+        )
+
+
+def mandatory_assignments(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    observables: Optional[Set[str]] = None,
+) -> List[Tuple[str, bool]]:
+    """Necessary signal values for any test of *fault*.
+
+    Side-input requirements are collected along the propagation path as
+    long as it is unique (single fanout); at a fanout point collection
+    stops (further conditions would not be necessary).  *observables*
+    marks signals where propagation may stop (defaults to signals with
+    no fanout).
+    """
+    gate = circuit.gates[fault.gate]
+    if gate.kind not in (GateKind.AND, GateKind.OR):
+        raise ValueError("faults are modelled on AND/OR gate inputs")
+    signal, phase = gate.inputs[fault.input_index]
+
+    assignments: List[Tuple[str, bool]] = []
+    # Activation: the fault site must carry the opposite of the stuck
+    # value; translate the literal value back to the signal value.
+    literal_value = not fault.stuck_value
+    assignments.append((signal, literal_value if phase else not literal_value))
+
+    # Side inputs of the faulty gate must be non-controlling.
+    non_controlling = not gate.controlling_value()
+    for i, (side_signal, side_phase) in enumerate(gate.inputs):
+        if i == fault.input_index:
+            continue
+        assignments.append(
+            (
+                side_signal,
+                non_controlling if side_phase else not non_controlling,
+            )
+        )
+
+    # Walk the unique propagation path.
+    fanouts = circuit.fanouts()
+    current = gate.name
+    if observables is None:
+        observables = {
+            name for name, outs in fanouts.items() if not outs
+        }
+    while current not in observables:
+        outs = fanouts.get(current, ())
+        if len(outs) != 1:
+            break  # propagation choice exists; stop collecting.
+        next_gate = circuit.gates[outs[0]]
+        if next_gate.kind not in (GateKind.AND, GateKind.OR):
+            break
+        non_controlling = not next_gate.controlling_value()
+        for side_signal, side_phase in next_gate.inputs:
+            if side_signal == current:
+                continue
+            assignments.append(
+                (
+                    side_signal,
+                    non_controlling if side_phase else not non_controlling,
+                )
+            )
+        current = next_gate.name
+    return assignments
+
+
+def all_wire_faults(circuit: Circuit) -> Iterable[StuckAtFault]:
+    """Enumerate the removal-relevant fault on every wire.
+
+    For an AND input, stuck-at-1 untestable means the wire can be
+    replaced by constant 1 (dropped); for an OR input, stuck-at-0.
+    """
+    for gate in circuit.gates.values():
+        if gate.kind == GateKind.AND:
+            for i in range(len(gate.inputs)):
+                yield StuckAtFault(gate.name, i, True)
+        elif gate.kind == GateKind.OR:
+            for i in range(len(gate.inputs)):
+                yield StuckAtFault(gate.name, i, False)

@@ -1,0 +1,83 @@
+"""Recursive learning on top of direct implications.
+
+The paper points out (Section III-B) that the implication method is a
+dial: direct implications are fast, "quite exhaustive" techniques like
+recursive learning [Kunz & Pradhan] find more conflicts — i.e. expose
+more internal don't cares — for more run time.  This module implements
+bounded-depth recursive learning:
+
+for every unjustified gate, try each justification option in a forked
+engine; if *all* options conflict the current state is inconsistent;
+otherwise assignments common to every surviving option are learned and
+asserted, and the loop repeats until nothing new is learned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.atpg.implication import Conflict, ImplicationEngine
+
+
+def learn_implications(
+    engine: ImplicationEngine, depth: int = 1, max_gates: int = 200
+) -> None:
+    """Strengthen the engine's state by recursive learning.
+
+    Raises :class:`Conflict` when learning proves the current
+    assignments inconsistent.  *depth* bounds the nesting; *max_gates*
+    bounds how many unjustified gates are examined per round (a run
+    time guard for the GDC configuration on large circuits).
+    """
+    if depth <= 0:
+        return
+    changed = True
+    while changed:
+        changed = False
+        gates = engine.unjustified_gates()[:max_gates]
+        for gate in gates:
+            # The gate may have become justified by earlier learning.
+            out = engine.value(gate.name)
+            if out is None or out != gate.controlling_value():
+                continue
+            options = [
+                edge
+                for edge in gate.inputs
+                if engine._literal_value(edge) is None
+            ]
+            if any(
+                engine._literal_value(edge) == out for edge in gate.inputs
+            ):
+                continue
+            if not options:
+                raise Conflict(gate.name)
+
+            common: Optional[Dict[str, bool]] = None
+            for edge in options:
+                fork = engine.fork()
+                try:
+                    fork._assign_literal(edge, out)
+                    fork.propagate()
+                    if depth > 1:
+                        learn_implications(fork, depth - 1, max_gates)
+                except Conflict:
+                    continue
+                if common is None:
+                    common = dict(fork.values)
+                else:
+                    common = {
+                        signal: value
+                        for signal, value in common.items()
+                        if fork.values.get(signal) == value
+                    }
+                if not common:
+                    break
+
+            if common is None:
+                # Every justification option conflicts.
+                raise Conflict(gate.name)
+            for signal, value in common.items():
+                if engine.value(signal) is None:
+                    engine.assign(signal, value)
+                    changed = True
+            engine.propagate()

@@ -1,0 +1,114 @@
+"""Generic redundancy identification and removal for circuits.
+
+This is the classical substrate the paper builds on (Section II): a
+wire whose removal-fault is untestable can be deleted without changing
+the circuit's function.  The division algorithm in :mod:`repro.core`
+constructs its own specialized mandatory-assignment sets; this module
+provides the general-purpose version used for plain redundancy removal
+and for reproducing the RAR example of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gate import Gate, GateKind
+from repro.atpg.implication import Conflict, ImplicationEngine
+from repro.atpg.fault import StuckAtFault, all_wire_faults, mandatory_assignments
+from repro.atpg.learning import learn_implications
+
+
+def wire_is_redundant(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    observables: Optional[Set[str]] = None,
+    learn_depth: int = 0,
+) -> bool:
+    """True when the fault's mandatory assignments conflict.
+
+    Sound but incomplete: False only means redundancy was not proven.
+    """
+    engine = ImplicationEngine(circuit)
+    try:
+        engine.assign_many(
+            mandatory_assignments(circuit, fault, observables)
+        )
+        engine.propagate()
+        if learn_depth > 0:
+            learn_implications(engine, learn_depth)
+    except Conflict:
+        return True
+    return False
+
+
+def remove_wire(circuit: Circuit, gate_name: str, input_index: int) -> None:
+    """Delete one input edge; degenerate gates become constants.
+
+    Removing a redundant AND-input (s-a-1 untestable) or OR-input
+    (s-a-0 untestable) leaves the remaining inputs; a gate left with no
+    inputs becomes the non-controlling constant (empty AND = 1, empty
+    OR = 0).
+    """
+    gate = circuit.gates[gate_name]
+    del gate.inputs[input_index]
+    if not gate.inputs:
+        kind = (
+            GateKind.CONST1 if gate.kind == GateKind.AND else GateKind.CONST0
+        )
+        circuit.gates[gate_name] = Gate(gate_name, kind)
+    circuit.invalidate()
+
+
+def redundancy_removal(
+    circuit: Circuit,
+    observables: Optional[Set[str]] = None,
+    learn_depth: int = 0,
+    max_rounds: int = 10,
+) -> int:
+    """Greedy redundancy removal; returns the number of wires removed.
+
+    After each removal the circuit changes, so candidate faults are
+    re-enumerated; rounds repeat until no wire is removable.
+    """
+    removed = 0
+    for _ in range(max_rounds):
+        progress = False
+        for fault in list(all_wire_faults(circuit)):
+            gate = circuit.gates.get(fault.gate)
+            if gate is None or fault.input_index >= len(gate.inputs):
+                continue
+            if wire_is_redundant(circuit, fault, observables, learn_depth):
+                remove_wire(circuit, fault.gate, fault.input_index)
+                removed += 1
+                progress = True
+        if not progress:
+            break
+    return removed
+
+
+def add_redundant_wire(
+    circuit: Circuit,
+    gate_name: str,
+    edge: Tuple[str, bool],
+    observables: Optional[Set[str]] = None,
+    learn_depth: int = 0,
+) -> bool:
+    """Add *edge* to a gate if it is provably redundant (RAR's "add").
+
+    The candidate connection is redundant when its removal-fault
+    (s-a-1 for AND, s-a-0 for OR) on the *new* wire is untestable in
+    the modified circuit.  Returns True when the wire was added.
+    """
+    gate = circuit.gates[gate_name]
+    if gate.kind not in (GateKind.AND, GateKind.OR):
+        raise ValueError("can only add wires to AND/OR gates")
+    gate.inputs.append(edge)
+    circuit.invalidate()
+    stuck = gate.kind == GateKind.AND
+    fault = StuckAtFault(gate_name, len(gate.inputs) - 1, stuck)
+    if wire_is_redundant(circuit, fault, observables, learn_depth):
+        return True
+    gate.inputs.pop()
+    circuit.invalidate()
+    return False

@@ -1,0 +1,47 @@
+"""Three-valued logic helpers.
+
+The implication engine stores values as ``True`` / ``False`` with
+absence meaning unknown; these helpers give that convention a name and
+provide the AND/OR tables for code that wants to work with explicit
+ternary values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+UNKNOWN = None
+
+Ternary = Optional[bool]
+
+
+def t_and(a: Ternary, b: Ternary) -> Ternary:
+    """Ternary AND (False dominates)."""
+    if a is False or b is False:
+        return False
+    if a is True and b is True:
+        return True
+    return UNKNOWN
+
+
+def t_or(a: Ternary, b: Ternary) -> Ternary:
+    """Ternary OR (True dominates)."""
+    if a is True or b is True:
+        return True
+    if a is False and b is False:
+        return False
+    return UNKNOWN
+
+
+def t_not(a: Ternary) -> Ternary:
+    """Ternary NOT (unknown stays unknown)."""
+    if a is UNKNOWN:
+        return UNKNOWN
+    return not a
+
+
+def to_char(a: Ternary) -> str:
+    """Render a ternary value as '0', '1' or 'x'."""
+    if a is UNKNOWN:
+        return "x"
+    return "1" if a else "0"

@@ -1,0 +1,47 @@
+"""Alternative Boolean-division engines from the paper's related work.
+
+The paper's introduction surveys three prior routes to (partially)
+Boolean division, all of which are implemented here so the RAR method
+can be compared against real baselines rather than straw men:
+
+* :mod:`repro.baselines.espresso_div` — the "ad-hoc setup" built on a
+  two-level optimizer: introduce a fresh input ``y`` for the divisor,
+  declare ``y XOR d`` a don't care, and let espresso pull ``y`` into
+  the cover,
+* :mod:`repro.baselines.bdd_div` — Stanion & Sechen's BDD division:
+  ``f = d·(f ↓ d) + d'·f`` via the generalized cofactor (constrain),
+* :mod:`repro.baselines.coalgebraic` — Hsu & Shen's coalgebraic
+  division: algebraic division augmented with the Boolean identities
+  ``x·x = x`` and ``x·x' = 0``.
+
+Each module exposes a cover-level ``divide`` plus a node-level
+substitution helper with the same acceptance rule (factored-literal
+gain) as :mod:`repro.core.substitution`, so quality comparisons are
+apples-to-apples.
+"""
+
+from repro.baselines.espresso_div import (
+    espresso_divide,
+    espresso_substitute_pair,
+    espresso_substitution,
+)
+from repro.baselines.bdd_div import (
+    bdd_divide,
+    bdd_substitute_pair,
+    bdd_substitution,
+)
+from repro.baselines.coalgebraic import (
+    coalgebraic_division,
+    coalgebraic_substitution,
+)
+
+__all__ = [
+    "espresso_divide",
+    "espresso_substitute_pair",
+    "espresso_substitution",
+    "bdd_divide",
+    "bdd_substitute_pair",
+    "bdd_substitution",
+    "coalgebraic_division",
+    "coalgebraic_substitution",
+]

@@ -1,0 +1,128 @@
+"""BDD-based Boolean division (Stanion & Sechen, TCAD 1994).
+
+The method the paper cites as [14]: with the generalized cofactor
+(Coudert–Madre ``constrain``), every function decomposes as
+
+    f = d·(f ↓ d) + d'·f           (and dually with d')
+
+so the quotient of ``f / d`` is ``f ↓ d`` and the remainder is
+``d'·f``.  Here functions live over a node's fanin variables, the
+decomposition is computed on ROBDDs, and the result is converted back
+into covers for substitution.
+
+Following the original, the remainder is taken as ``f·d'`` restricted
+via constrain as well (``(f·d') ↓ d'`` against the d' space keeps it
+small); we use the simpler exact ``f·d'`` which is sufficient at node
+granularity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.bdd import BDD_ZERO, BddManager
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.network.factor import factored_literals
+from repro.network.network import Network
+
+
+@dataclasses.dataclass
+class BddDivision:
+    """``f = d·quotient + remainder`` with covers read off the BDDs."""
+
+    quotient: Cover
+    remainder: Cover
+
+
+def bdd_divide(f: Cover, d: Cover) -> Optional[BddDivision]:
+    """Generalized-cofactor division of *f* by *d* (shared space)."""
+    f._check_compatible(d)
+    manager = BddManager(f.num_vars)
+    f_bdd = manager.from_cover(f)
+    d_bdd = manager.from_cover(d)
+    if d_bdd == BDD_ZERO:
+        return None
+    quotient_bdd = manager.constrain(f_bdd, d_bdd)
+    remainder_bdd = manager.and_(f_bdd, manager.not_(d_bdd))
+    return BddDivision(
+        quotient=manager.to_cover(quotient_bdd, f.num_vars),
+        remainder=manager.to_cover(remainder_bdd, f.num_vars),
+    )
+
+
+def bdd_substitute_pair(
+    network: Network, f_name: str, divisor_name: str
+) -> bool:
+    """Substitute via BDD division when the factored count drops."""
+    f_node = network.nodes[f_name]
+    d_node = network.nodes[divisor_name]
+    if f_node.cover is None or d_node.cover is None:
+        return False
+    if f_node.is_constant() or d_node.is_constant():
+        return False
+    if divisor_name in f_node.fanins:
+        return False
+    if f_name in network.transitive_fanin(divisor_name):
+        return False
+
+    shared = list(f_node.fanins)
+    for name in d_node.fanins:
+        if name not in shared:
+            shared.append(name)
+    if len(shared) > 18:
+        return False  # keep the node-level BDDs small
+    index = {name: i for i, name in enumerate(shared)}
+    n = len(shared)
+    f_cover = f_node.cover.remap(
+        [index[name] for name in f_node.fanins], n
+    )
+    d_cover = d_node.cover.remap(
+        [index[name] for name in d_node.fanins], n
+    )
+
+    division = bdd_divide(f_cover, d_cover)
+    if division is None or division.quotient.is_zero():
+        return False
+
+    y = Cube.literal(n, True)
+    cubes: List[Cube] = []
+    for q in division.quotient.cubes:
+        merged = q.intersect(y)
+        if merged is not None:
+            cubes.append(merged)
+    cubes.extend(division.remainder.cubes)
+    substituted = Cover(n + 1, cubes).single_cube_containment()
+
+    before = factored_literals(f_node.cover)
+    after = factored_literals(substituted)
+    if after >= before:
+        return False
+    f_node.set_function(shared + [divisor_name], substituted)
+    f_node.prune_unused_fanins()
+    return True
+
+
+def bdd_substitution(network: Network, max_passes: int = 3) -> int:
+    """Greedy network pass using BDD division; returns accepts."""
+    accepted = 0
+    for _ in range(max_passes):
+        changed = False
+        names = [node.name for node in network.internal_nodes()]
+        for f_name in names:
+            if f_name not in network.nodes:
+                continue
+            for d_name in names:
+                if d_name == f_name or d_name not in network.nodes:
+                    continue
+                if not set(network.nodes[d_name].fanins) & set(
+                    network.nodes[f_name].fanins
+                ):
+                    continue
+                if bdd_substitute_pair(network, f_name, d_name):
+                    accepted += 1
+                    changed = True
+        if not changed:
+            break
+    return accepted

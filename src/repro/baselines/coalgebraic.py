@@ -1,0 +1,169 @@
+"""Coalgebraic division (Hsu & Shen, DAC 1992).
+
+Algebraic (weak) division treats expressions as polynomials, so the
+products it can recognize never share variables between divisor and
+quotient.  Coalgebraic division adds exactly two Boolean identities:
+
+* ``x·x  = x``  — a quotient cube may repeat divisor literals,
+* ``x·x' = 0``  — a quotient×divisor product that vanishes does not
+  need a matching cube in the dividend.
+
+Following the original formulation, candidate quotient cubes are
+generated per divisor cube as in weak division but *without* the
+support-disjointness filter (idempotence), and a candidate survives
+when, for every divisor cube, the product either vanishes
+(annihilation) or appears in the dividend.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.network.factor import factored_literals
+from repro.network.network import Network
+
+
+def coalgebraic_division(
+    dividend: Cover, divisor: Cover
+) -> Tuple[Cover, Cover]:
+    """``dividend = divisor·quotient + remainder`` with the two
+    Boolean identities enabled.  The quotient is empty on failure."""
+    if divisor.is_zero():
+        raise ZeroDivisionError("coalgebraic division by zero cover")
+    dividend_cubes: Set[Cube] = set(dividend.cubes)
+
+    # Candidate quotient cubes: for every (dividend cube c, divisor
+    # cube d) with d ⊇ c (literal-wise lits(d) ⊆ lits(c)), the minimal
+    # cube q with q·d = c under idempotence is c minus d's literals —
+    # but unlike weak division, q may keep literals shared with the
+    # divisor's *other* cubes, so we also try q = c itself.
+    candidates: Set[Cube] = set()
+    for c in dividend.cubes:
+        for d in divisor.cubes:
+            if d.contains(c):
+                q = c.cofactor_cube(d)
+                if q is not None:
+                    candidates.add(q)
+                candidates.add(c)
+
+    def is_valid(q: Cube) -> bool:
+        supported = False
+        for d in divisor.cubes:
+            product = q.intersect(d)
+            if product is None:
+                continue  # x·x' = 0: the product vanishes
+            if product not in dividend_cubes:
+                return False
+            supported = True
+        return supported
+
+    valid = sorted(q for q in candidates if is_valid(q))
+    if not valid:
+        return Cover.zero(dividend.num_vars), dividend
+
+    # Greedy cover of dividend cubes by valid quotient cubes (largest
+    # first), exactly one choice per covered product.
+    covered: Set[Cube] = set()
+    chosen: List[Cube] = []
+    scored = sorted(
+        valid,
+        key=lambda q: (
+            -len(
+                {
+                    q.intersect(d)
+                    for d in divisor.cubes
+                    if q.intersect(d) is not None
+                }
+                - covered
+            ),
+            q.num_literals(),
+        ),
+    )
+    for q in scored:
+        products = {
+            q.intersect(d)
+            for d in divisor.cubes
+            if q.intersect(d) is not None
+        }
+        if products - covered:
+            chosen.append(q)
+            covered |= products
+    remainder = Cover(
+        dividend.num_vars,
+        [c for c in dividend.cubes if c not in covered],
+    )
+    return Cover(dividend.num_vars, sorted(chosen)), remainder
+
+
+def coalgebraic_substitute_pair(
+    network: Network, f_name: str, divisor_name: str
+) -> bool:
+    """Substitute *divisor* into *f* via coalgebraic division if it pays."""
+    f_node = network.nodes[f_name]
+    d_node = network.nodes[divisor_name]
+    if f_node.cover is None or d_node.cover is None:
+        return False
+    if f_node.is_constant() or d_node.is_constant():
+        return False
+    if divisor_name in f_node.fanins:
+        return False
+    if f_name in network.transitive_fanin(divisor_name):
+        return False
+
+    shared = list(f_node.fanins)
+    for name in d_node.fanins:
+        if name not in shared:
+            shared.append(name)
+    index = {name: i for i, name in enumerate(shared)}
+    n = len(shared)
+    f_cover = f_node.cover.remap(
+        [index[name] for name in f_node.fanins], n
+    )
+    d_cover = d_node.cover.remap(
+        [index[name] for name in d_node.fanins], n
+    )
+
+    quotient, remainder = coalgebraic_division(f_cover, d_cover)
+    if quotient.is_zero():
+        return False
+    y = Cube.literal(n, True)
+    cubes: List[Cube] = []
+    for q in quotient.cubes:
+        merged = q.intersect(y)
+        if merged is None:
+            return False
+        cubes.append(merged)
+    cubes.extend(remainder.cubes)
+    substituted = Cover(n + 1, cubes).single_cube_containment()
+
+    if factored_literals(substituted) >= factored_literals(f_node.cover):
+        return False
+    f_node.set_function(shared + [divisor_name], substituted)
+    f_node.prune_unused_fanins()
+    return True
+
+
+def coalgebraic_substitution(network: Network, max_passes: int = 3) -> int:
+    """Greedy network pass using coalgebraic division."""
+    accepted = 0
+    for _ in range(max_passes):
+        changed = False
+        names = [node.name for node in network.internal_nodes()]
+        for f_name in names:
+            if f_name not in network.nodes:
+                continue
+            for d_name in names:
+                if d_name == f_name or d_name not in network.nodes:
+                    continue
+                if not set(network.nodes[d_name].fanins) & set(
+                    network.nodes[f_name].fanins
+                ):
+                    continue
+                if coalgebraic_substitute_pair(network, f_name, d_name):
+                    accepted += 1
+                    changed = True
+        if not changed:
+            break
+    return accepted

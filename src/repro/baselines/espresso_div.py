@@ -1,0 +1,148 @@
+"""Boolean division through a two-level optimizer with don't cares.
+
+The paper's introduction describes this "ad-hoc setup": given ``f``
+and a divisor ``d``, add a fresh input ``y`` that (in the real
+circuit) always equals ``d``.  Every minterm where ``y ≠ d(x)`` is
+then a satisfiability don't care, and a good two-level optimizer fed
+that don't-care set will pull the literal ``y`` into the cover of
+``f`` whenever it pays — achieving the effect of Boolean division.
+
+The quotient/remainder split falls out of the minimized cover: cubes
+containing ``y`` form ``d·q``, cubes containing ``y'`` use the
+complement phase, and the rest are the remainder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.twolevel.complement import complement
+from repro.twolevel.minimize import espresso
+from repro.network.factor import factored_literals
+from repro.network.network import Network
+
+
+@dataclasses.dataclass
+class EspressoDivision:
+    """Result of espresso-based division in a shared variable space."""
+
+    #: Cover over ``num_vars + 1`` variables; the last variable is y.
+    substituted: Cover
+    quotient: Cover  # cubes that carried y (y removed)
+    quotient_neg: Cover  # cubes that carried y'
+    remainder: Cover
+
+
+def espresso_divide(f: Cover, d: Cover) -> EspressoDivision:
+    """Divide *f* by *d* via espresso with a ``y XOR d`` don't-care set.
+
+    Both covers must share a variable space; variable ``f.num_vars``
+    is introduced for ``y``.
+    """
+    f._check_compatible(d)
+    n = f.num_vars
+    wide = n + 1
+    y = Cube.literal(n, True)
+    y_not = Cube.literal(n, False)
+
+    on_set = f.extended(wide)
+    # DC = y·d' + y'·d  (assignments where y disagrees with d).
+    d_comp = complement(d)
+    dc_cubes: List[Cube] = []
+    for cube in d_comp.cubes:
+        merged = cube.intersect(y)
+        if merged is not None:
+            dc_cubes.append(merged)
+    for cube in d.cubes:
+        merged = cube.intersect(y_not)
+        if merged is not None:
+            dc_cubes.append(merged)
+    dc_set = Cover(wide, dc_cubes)
+
+    minimized = espresso(on_set, dc_set)
+
+    quotient, quotient_neg, remainder = [], [], []
+    for cube in minimized.cubes:
+        phase = cube.phase(n)
+        stripped = cube.without_var(n)
+        if phase is True:
+            quotient.append(stripped)
+        elif phase is False:
+            quotient_neg.append(stripped)
+        else:
+            remainder.append(stripped)
+    return EspressoDivision(
+        substituted=minimized,
+        quotient=Cover(n, quotient),
+        quotient_neg=Cover(n, quotient_neg),
+        remainder=Cover(n, remainder),
+    )
+
+
+def espresso_substitute_pair(
+    network: Network, f_name: str, divisor_name: str
+) -> bool:
+    """Substitute *divisor* into *f* via espresso division if it pays."""
+    f_node = network.nodes[f_name]
+    d_node = network.nodes[divisor_name]
+    if f_node.cover is None or d_node.cover is None:
+        return False
+    if f_node.is_constant() or d_node.is_constant():
+        return False
+    if divisor_name in f_node.fanins:
+        return False
+    if f_name in network.transitive_fanin(divisor_name):
+        return False
+    if f_node.cover.num_cubes() > 48:
+        return False
+
+    shared = list(f_node.fanins)
+    for name in d_node.fanins:
+        if name not in shared:
+            shared.append(name)
+    index = {name: i for i, name in enumerate(shared)}
+    n = len(shared)
+    f_cover = f_node.cover.remap(
+        [index[name] for name in f_node.fanins], n
+    )
+    d_cover = d_node.cover.remap(
+        [index[name] for name in d_node.fanins], n
+    )
+
+    division = espresso_divide(f_cover, d_cover)
+    if division.quotient.is_zero() and division.quotient_neg.is_zero():
+        return False
+    before = factored_literals(f_node.cover)
+    after = factored_literals(division.substituted)
+    if after >= before:
+        return False
+    f_node.set_function(shared + [divisor_name], division.substituted)
+    f_node.prune_unused_fanins()
+    return True
+
+
+def espresso_substitution(network: Network, max_passes: int = 3) -> int:
+    """Greedy network pass using espresso division; returns accepts."""
+    accepted = 0
+    for _ in range(max_passes):
+        changed = False
+        names = [node.name for node in network.internal_nodes()]
+        for f_name in names:
+            if f_name not in network.nodes:
+                continue
+            for d_name in names:
+                if d_name == f_name or d_name not in network.nodes:
+                    continue
+                if not set(network.nodes[d_name].fanins) & set(
+                    network.nodes[f_name].fanins
+                ):
+                    continue
+                if espresso_substitute_pair(network, f_name, d_name):
+                    accepted += 1
+                    changed = True
+        if not changed:
+            break
+    return accepted

@@ -1,0 +1,44 @@
+"""Benchmark circuits for the experiments.
+
+MCNC/ISCAS netlists are not redistributable here, so the suite is a
+deterministic synthetic stand-in (see DESIGN.md):
+
+* structured arithmetic/control blocks (adders, carry-lookahead,
+  comparators, decoders, parity, muxes, ALU slices) — realistic
+  multilevel logic with sharing and reconvergence, and
+* seeded random networks with *planted divisors*: node functions built
+  by Boolean-composing hidden sub-functions and re-minimizing with
+  espresso, which destroys the algebraic structure while keeping the
+  Boolean divisibility the paper's method exploits.
+"""
+
+from repro.bench.generators import (
+    ripple_adder,
+    carry_lookahead_adder,
+    comparator,
+    decoder,
+    parity,
+    mux_tree,
+    alu_slice,
+    priority_encoder,
+    majority_voter,
+    planted_network,
+    planted_pos_network,
+)
+from repro.bench.suite import benchmark_suite, build_benchmark
+
+__all__ = [
+    "ripple_adder",
+    "carry_lookahead_adder",
+    "comparator",
+    "decoder",
+    "parity",
+    "mux_tree",
+    "alu_slice",
+    "priority_encoder",
+    "majority_voter",
+    "planted_network",
+    "planted_pos_network",
+    "benchmark_suite",
+    "build_benchmark",
+]

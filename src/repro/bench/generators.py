@@ -1,0 +1,509 @@
+"""Deterministic benchmark circuit generators.
+
+Every generator is a pure function of its parameters (and an explicit
+seed for the random family), so experiment tables reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.twolevel.complement import complement
+from repro.twolevel.minimize import espresso
+from repro.network.network import Network
+
+
+# ----------------------------------------------------------------------
+# Structured circuits
+# ----------------------------------------------------------------------
+
+def _node(net: Network, name: str, expression: str, fanins: Sequence[str]) -> None:
+    """Add a node whose expression uses positional placeholder names.
+
+    The expression is written over single letters ``a, b, c, ...`` that
+    map positionally onto *fanins* (whose real names are arbitrary).
+    """
+    placeholders = [chr(ord("a") + i) for i in range(len(fanins))]
+    cover = Cover.parse(expression, placeholders)
+    net.add_node(name, list(fanins), cover)
+
+def _xor_cover() -> Cover:
+    return Cover.parse("ab' + a'b", ["a", "b"])
+
+
+def _xnor_cover() -> Cover:
+    return Cover.parse("ab + a'b'", ["a", "b"])
+
+
+def ripple_adder(bits: int) -> Network:
+    """An n-bit ripple-carry adder (sum and carry chains)."""
+    net = Network(f"add{bits}")
+    a = [f"a{i}" for i in range(bits)]
+    b = [f"b{i}" for i in range(bits)]
+    for name in a + b:
+        net.add_pi(name)
+    net.add_pi("cin")
+    carry = "cin"
+    for i in range(bits):
+        p = f"p{i}"  # propagate = a xor b
+        net.add_node(p, [a[i], b[i]], _xor_cover())
+        s = f"s{i}"
+        net.add_node(s, [p, carry], _xor_cover())
+        net.add_po(s)
+        cnext = f"c{i + 1}"
+        net.add_node(
+            cnext,
+            [a[i], b[i], carry],
+            Cover.parse("ab + ac + bc", ["a", "b", "c"]),
+        )
+        carry = cnext
+    net.add_po(carry)
+    return net
+
+
+def carry_lookahead_adder(bits: int) -> Network:
+    """An n-bit adder with explicit generate/propagate lookahead."""
+    net = Network(f"cla{bits}")
+    a = [f"a{i}" for i in range(bits)]
+    b = [f"b{i}" for i in range(bits)]
+    for name in a + b:
+        net.add_pi(name)
+    net.add_pi("cin")
+    gs, ps = [], []
+    for i in range(bits):
+        g = f"g{i}"
+        p = f"p{i}"
+        _node(net, g, "ab", [a[i], b[i]])
+        net.add_node(p, [a[i], b[i]], _xor_cover())
+        gs.append(g)
+        ps.append(p)
+    carries = ["cin"]
+    for i in range(bits):
+        # c[i+1] = g_i + p_i·c_i over the generate/propagate signals.
+        fanins = [gs[i], ps[i], carries[i]]
+        cover = Cover.parse("g + pc", ["g", "p", "c"])
+        net.add_node(f"c{i + 1}", fanins, cover)
+        carries.append(f"c{i + 1}")
+    for i in range(bits):
+        s = f"s{i}"
+        net.add_node(s, [ps[i], carries[i]], _xor_cover())
+        net.add_po(s)
+    net.add_po(carries[-1])
+    return net
+
+
+def comparator(bits: int) -> Network:
+    """n-bit magnitude comparator producing eq/gt/lt."""
+    net = Network(f"cmp{bits}")
+    a = [f"a{i}" for i in range(bits)]
+    b = [f"b{i}" for i in range(bits)]
+    for name in a + b:
+        net.add_pi(name)
+    eq_prev: Optional[str] = None
+    gt_prev: Optional[str] = None
+    for i in reversed(range(bits)):  # MSB first
+        e = f"eq{i}"
+        net.add_node(e, [a[i], b[i]], _xnor_cover())
+        g = f"gtb{i}"
+        _node(net, g, "ab'", [a[i], b[i]])
+        if eq_prev is None:
+            eq_chain, gt_chain = e, g
+        else:
+            eq_chain = f"eqc{i}"
+            _node(net, eq_chain, "ab", [eq_prev, e])
+            gt_chain = f"gtc{i}"
+            _node(net, gt_chain, "a + bc", [gt_prev, eq_prev, g])
+        eq_prev, gt_prev = eq_chain, gt_chain
+    net.add_po(eq_prev)
+    net.add_po(gt_prev)
+    lt = "lt"
+    _node(net, lt, "a'b'", [eq_prev, gt_prev])
+    net.add_po(lt)
+    return net
+
+
+def decoder(select_bits: int) -> Network:
+    """A select_bits-to-2**select_bits one-hot decoder with enable."""
+    net = Network(f"dec{select_bits}")
+    sels = [f"s{i}" for i in range(select_bits)]
+    for name in sels:
+        net.add_pi(name)
+    net.add_pi("en")
+    n = select_bits
+    for value in range(1 << n):
+        literals = [(i, bool(value >> i & 1)) for i in range(n)]
+        literals.append((n, True))  # enable
+        cover = Cover(n + 1, [Cube.from_literals(literals)])
+        name = f"o{value}"
+        net.add_node(name, sels + ["en"], cover)
+        net.add_po(name)
+    return net
+
+
+def parity(bits: int) -> Network:
+    """XOR tree over *bits* inputs."""
+    net = Network(f"par{bits}")
+    layer = [f"x{i}" for i in range(bits)]
+    for name in layer:
+        net.add_pi(name)
+    level = 0
+    while len(layer) > 1:
+        next_layer: List[str] = []
+        for i in range(0, len(layer) - 1, 2):
+            name = f"t{level}_{i // 2}"
+            net.add_node(name, [layer[i], layer[i + 1]], _xor_cover())
+            next_layer.append(name)
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+        level += 1
+    net.add_po(layer[0])
+    return net
+
+
+def mux_tree(select_bits: int) -> Network:
+    """A 2**select_bits-to-1 multiplexer built as a tree of 2:1 muxes."""
+    net = Network(f"mux{select_bits}")
+    n = 1 << select_bits
+    data = [f"d{i}" for i in range(n)]
+    sels = [f"s{i}" for i in range(select_bits)]
+    for name in data + sels:
+        net.add_pi(name)
+    layer = data
+    for level in range(select_bits):
+        next_layer: List[str] = []
+        for i in range(0, len(layer), 2):
+            name = f"m{level}_{i // 2}"
+            net.add_node(
+                name,
+                [sels[level], layer[i], layer[i + 1]],
+                Cover.parse("s'a + sb", ["s", "a", "b"]),
+            )
+            next_layer.append(name)
+        layer = next_layer
+    net.add_po(layer[0])
+    return net
+
+
+def alu_slice(bits: int) -> Network:
+    """A small ALU: AND/OR/XOR/ADD selected by two mode bits."""
+    net = Network(f"alu{bits}")
+    a = [f"a{i}" for i in range(bits)]
+    b = [f"b{i}" for i in range(bits)]
+    for name in a + b:
+        net.add_pi(name)
+    net.add_pi("m0")
+    net.add_pi("m1")
+    carry = None
+    for i in range(bits):
+        _node(net, f"and{i}", "ab", [a[i], b[i]])
+        _node(net, f"or{i}", "a + b", [a[i], b[i]])
+        net.add_node(f"xor{i}", [a[i], b[i]], _xor_cover())
+        if carry is None:
+            _node(net, f"sum{i}", "a", [f"xor{i}"])
+            _node(net, f"cout{i}", "ab", [a[i], b[i]])
+        else:
+            net.add_node(f"sum{i}", [f"xor{i}", carry], _xor_cover())
+            net.add_node(
+                f"cout{i}",
+                [a[i], b[i], carry],
+                Cover.parse("ab + ac + bc", ["a", "b", "c"]),
+            )
+        carry = f"cout{i}"
+        # 4:1 select over the operation results.
+        net.add_node(
+            f"y{i}",
+            ["m0", "m1", f"and{i}", f"or{i}", f"xor{i}", f"sum{i}"],
+            Cover.parse(
+                "m'n'x + mn'y + m'nz + mnw",
+                ["m", "n", "x", "y", "z", "w"],
+            ),
+        )
+        net.add_po(f"y{i}")
+    net.add_po(carry)
+    return net
+
+
+def priority_encoder(bits: int) -> Network:
+    """Priority encoder: index of the highest asserted input + valid."""
+    net = Network(f"pri{bits}")
+    xs = [f"x{i}" for i in range(bits)]
+    for name in xs:
+        net.add_pi(name)
+    # higher{i} = some input above i is asserted.
+    prev = None
+    for i in reversed(range(bits)):
+        name = f"hi{i}"
+        if prev is None:
+            _node(net, name, "0", [])
+        else:
+            _node(net, name, "a + b", [xs[i + 1], prev])
+        prev = name
+    # grant{i} = x_i and no higher input.
+    for i in range(bits):
+        _node(net, f"grant{i}", "ab'", [xs[i], f"hi{i}"])
+    out_bits = max(1, (bits - 1).bit_length())
+    for k in range(out_bits):
+        terms = [f"grant{i}" for i in range(bits) if i >> k & 1]
+        if not terms:
+            _node(net, f"e{k}", "0", [])
+        else:
+            names = [chr(ord("a") + j) for j in range(len(terms))]
+            _node(net, f"e{k}", " + ".join(names), terms)
+        net.add_po(f"e{k}")
+    names = [chr(ord("a") + j) for j in range(bits)]
+    _node(net, "valid", " + ".join(names), xs)
+    net.add_po("valid")
+    return net
+
+
+def majority_voter(inputs: int = 5) -> Network:
+    """Majority function over an odd number of inputs (TMR voter)."""
+    if inputs % 2 == 0:
+        raise ValueError("majority needs an odd input count")
+    net = Network(f"maj{inputs}")
+    xs = [f"x{i}" for i in range(inputs)]
+    for name in xs:
+        net.add_pi(name)
+    threshold = inputs // 2 + 1
+    cubes = []
+    import itertools
+
+    for combo in itertools.combinations(range(inputs), threshold):
+        cubes.append(Cube.from_literals([(i, True) for i in combo]))
+    net.add_node("maj", xs, Cover(inputs, cubes))
+    net.add_po("maj")
+    return net
+
+
+# ----------------------------------------------------------------------
+# Planted-divisor random networks
+# ----------------------------------------------------------------------
+def _random_cover(
+    rng: random.Random, variables: Sequence[int], num_vars: int, cubes: int
+) -> Cover:
+    out = []
+    for _ in range(cubes):
+        literals = {}
+        width = rng.randint(1, min(3, len(variables)))
+        for var in rng.sample(list(variables), width):
+            literals[var] = rng.random() < 0.6
+        out.append(Cube.from_literals(literals.items()))
+    cover = Cover(num_vars, out).single_cube_containment()
+    return cover
+
+
+def planted_network(
+    name: str,
+    seed: int,
+    n_pis: int = 10,
+    n_divisors: int = 4,
+    n_targets: int = 6,
+) -> Network:
+    """A random network with Boolean-divisible structure planted in.
+
+    Three kinds of structure give each configuration something to find:
+
+    * **Cores.**  Small cube-free covers over PI subsets.  Target nodes
+      are built as ``core·q + r`` (with the core sometimes
+      complemented), *collapsed to PI space and re-minimized with
+      espresso*.  Minimization merges and expands cubes, destroying the
+      weak-division (algebraic) pattern while preserving Boolean
+      divisibility — the regime where the paper's method wins.
+    * **Fat divisors.**  Some cores are published as nodes with extra
+      cubes OR-ed in, so only *extended* division (decomposing the
+      divisor around the voted core) can use them.
+    * **Correlated mid-layer signals.**  Some targets take internal
+      nodes with implied relationships (``m ≤ M``) as fanins; the
+      resulting satisfiability don't cares are only visible to the
+      GDC configuration's whole-circuit implications.
+    """
+    rng = random.Random(seed)
+    net = Network(name)
+    pis = [f"x{i}" for i in range(n_pis)]
+    for pi in pis:
+        net.add_pi(pi)
+
+    divisors: List[str] = []
+    divisor_cores: List[Cover] = []
+    for i in range(n_divisors):
+        support = rng.sample(range(n_pis), rng.randint(2, 4))
+        core = _random_cover(rng, support, n_pis, rng.randint(2, 3))
+        if core.is_zero() or core.is_one_cube() or core.num_cubes() < 2:
+            core = Cover(
+                n_pis,
+                [
+                    Cube.literal(support[0], True),
+                    Cube.literal(support[1], False),
+                ],
+            )
+        published = core
+        if rng.random() < 0.4:
+            # Fat divisor: OR extra cubes over fresh PIs so only the
+            # embedded core divides the targets (extended division).
+            extra_support = [
+                v for v in range(n_pis) if not (core.support() >> v & 1)
+            ]
+            if len(extra_support) >= 2:
+                extra = _random_cover(rng, extra_support, n_pis, 1)
+                if not extra.is_zero() and not extra.is_one_cube():
+                    published = core.union(extra)
+        g_name = f"g{i}"
+        node = net.add_node(g_name, pis, published)
+        node.prune_unused_fanins()
+        divisors.append(g_name)
+        divisor_cores.append(core)
+        net.add_po(g_name)
+
+    # Correlated mid-layer pairs: m <= M over shared PIs.
+    mids: List[str] = []
+    for i in range(max(1, n_divisors // 2)):
+        support = rng.sample(range(n_pis), 3)
+        small = _random_cover(rng, support, n_pis, 1)
+        if small.is_zero() or small.is_one_cube():
+            small = Cover(
+                n_pis,
+                [Cube.from_literals([(support[0], True), (support[1], True)])],
+            )
+        big = small.union(_random_cover(rng, support, n_pis, 1))
+        m_name, big_name = f"m{i}", f"M{i}"
+        node = net.add_node(m_name, pis, small)
+        node.prune_unused_fanins()
+        node = net.add_node(big_name, pis, big.single_cube_containment())
+        node.prune_unused_fanins()
+        mids.extend([m_name, big_name])
+
+    for j in range(n_targets):
+        idx = rng.randrange(n_divisors)
+        core = divisor_cores[idx]
+        use_complement = rng.random() < 0.3
+        base = complement(core) if use_complement else core
+        quotient_support = [
+            v for v in range(n_pis) if not (base.support() >> v & 1)
+        ]
+        quotient = _random_cover(
+            rng, quotient_support or list(range(n_pis)), n_pis,
+            rng.randint(1, 2),
+        )
+        if quotient.is_zero():
+            quotient = Cover.one(n_pis)
+        remainder = _random_cover(
+            rng, range(n_pis), n_pis, rng.randint(0, 2)
+        )
+        collapsed = base.intersect(quotient).union(remainder)
+        collapsed = collapsed.single_cube_containment()
+        if collapsed.is_zero() or collapsed.is_one_cube():
+            collapsed = base
+        minimized = espresso(collapsed)
+        f_name = f"f{j}"
+        node = net.add_node(f_name, pis, minimized)
+        node.prune_unused_fanins()
+        net.add_po(f_name)
+
+    # Targets over correlated mid-layer fanins (GDC territory): covers
+    # that mention both phases of an implied pair carry unreachable
+    # input combinations only whole-circuit implications can see.
+    # (POS-structured plants live in planted_pos_network.)
+    for j in range(max(1, n_targets // 3)):
+        if len(mids) < 2:
+            break
+        pair = rng.randrange(len(mids) // 2)
+        m_name, big_name = mids[2 * pair], mids[2 * pair + 1]
+        extra_pi = rng.sample(pis, 2)
+        fanins = [m_name, big_name] + extra_pi
+        cover = _random_cover(rng, range(4), 4, rng.randint(2, 3))
+        if cover.is_zero() or cover.is_one_cube():
+            cover = Cover.parse("ab' + cd", ["a", "b", "c", "d"])
+        t_name = f"t{j}"
+        node = net.add_node(t_name, fanins, cover)
+        node.prune_unused_fanins()
+        net.add_po(t_name)
+    return net
+
+
+def _random_sum_term(
+    rng: random.Random, variables: Sequence[int], num_vars: int
+) -> Cube:
+    """A random sum term encoded as the cube of its (dual) literals.
+
+    The returned cube is a cube of the function's *complement*: the
+    sum term ``a + b'`` is encoded as the dual cube ``a'b``.
+    """
+    width = rng.randint(2, min(3, len(variables)))
+    literals = {}
+    for var in rng.sample(list(variables), width):
+        literals[var] = rng.random() < 0.5
+    return Cube.from_literals(literals.items())
+
+
+def planted_pos_network(
+    name: str,
+    seed: int,
+    n_pis: int = 9,
+    n_divisors: int = 3,
+    n_targets: int = 5,
+) -> Network:
+    """A random network with *product-of-sums* structure planted in.
+
+    Divisors are products of a few sum terms; targets are products of
+    a subset of a divisor's sum terms (the POS core) with extra sum
+    terms.  Only the POS-form machinery (basic POS division, POS
+    extended division) can exploit these — the SOP view sees wide,
+    unstructured covers.
+    """
+    rng = random.Random(seed)
+    net = Network(name)
+    pis = [f"x{i}" for i in range(n_pis)]
+    for pi in pis:
+        net.add_pi(pi)
+
+    divisor_duals: List[List[Cube]] = []
+    for i in range(n_divisors):
+        support = rng.sample(range(n_pis), rng.randint(4, min(6, n_pis)))
+        terms = [
+            _random_sum_term(rng, support, n_pis)
+            for _ in range(rng.randint(2, 3))
+        ]
+        published = list(terms)
+        if rng.random() < 0.5:
+            # Fat POS divisor: an extra sum term only extended
+            # division can strip away.
+            published.append(_random_sum_term(rng, support, n_pis))
+        dual = Cover(n_pis, published).single_cube_containment()
+        cover = complement(dual)
+        if cover.is_zero() or cover.is_one_cube():
+            dual = Cover(n_pis, terms[:1])
+            cover = complement(dual)
+        g_name = f"g{i}"
+        node = net.add_node(g_name, pis, cover)
+        node.prune_unused_fanins()
+        divisor_duals.append(list(dual.cubes))
+        net.add_po(g_name)
+
+    for j in range(n_targets):
+        idx = rng.randrange(n_divisors)
+        duals = divisor_duals[idx]
+        core_size = rng.randint(
+            2, max(2, len(duals) - (1 if len(duals) > 2 else 0))
+        )
+        core_terms = rng.sample(duals, min(core_size, len(duals)))
+        extra_support = list(range(n_pis))
+        extra_terms = [
+            _random_sum_term(rng, extra_support, n_pis)
+            for _ in range(rng.randint(1, 2))
+        ]
+        dual = Cover(n_pis, core_terms + extra_terms)
+        dual = dual.single_cube_containment()
+        cover = complement(dual)
+        if cover.is_zero() or cover.is_one_cube():
+            cover = complement(Cover(n_pis, core_terms))
+        if cover.is_zero() or cover.is_one_cube():
+            continue
+        f_name = f"f{j}"
+        node = net.add_node(f_name, pis, cover)
+        node.prune_unused_fanins()
+        net.add_po(f_name)
+    return net

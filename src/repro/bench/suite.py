@@ -1,0 +1,73 @@
+"""The named benchmark suite used by every experiment table.
+
+A deterministic stand-in for the paper's MCNC/ISCAS list (see
+DESIGN.md): structured arithmetic/control blocks plus seeded random
+networks with planted Boolean-divisible structure.  Sizes are chosen so
+the full four-table harness completes in minutes of pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.network.network import Network
+from repro.bench import generators as g
+
+BenchmarkBuilder = Callable[[], Network]
+
+_SUITE: Dict[str, BenchmarkBuilder] = {
+    "add6": lambda: g.ripple_adder(6),
+    "cla4": lambda: g.carry_lookahead_adder(4),
+    "cmp6": lambda: g.comparator(6),
+    "dec3": lambda: g.decoder(3),
+    "par8": lambda: g.parity(8),
+    "mux3": lambda: g.mux_tree(3),
+    "alu3": lambda: g.alu_slice(3),
+    "pri6": lambda: g.priority_encoder(6),
+    "maj5": lambda: g.majority_voter(5),
+    "rnd1": lambda: g.planted_network("rnd1", seed=11, n_pis=9, n_divisors=3, n_targets=5),
+    "rnd2": lambda: g.planted_network("rnd2", seed=23, n_pis=10, n_divisors=4, n_targets=6),
+    "rnd3": lambda: g.planted_network("rnd3", seed=37, n_pis=8, n_divisors=3, n_targets=6),
+    "rnd4": lambda: g.planted_network("rnd4", seed=51, n_pis=11, n_divisors=4, n_targets=7),
+    "rnd5": lambda: g.planted_network("rnd5", seed=67, n_pis=9, n_divisors=4, n_targets=5),
+    "rnd6": lambda: g.planted_network("rnd6", seed=83, n_pis=10, n_divisors=5, n_targets=6),
+    "rnd7": lambda: g.planted_network("rnd7", seed=97, n_pis=13, n_divisors=5, n_targets=9),
+    "rnd8": lambda: g.planted_network("rnd8", seed=113, n_pis=14, n_divisors=6, n_targets=10),
+    "pos1": lambda: g.planted_pos_network("pos1", seed=101, n_pis=9, n_divisors=3, n_targets=5),
+    "pos2": lambda: g.planted_pos_network("pos2", seed=202, n_pis=9, n_divisors=3, n_targets=5),
+    "pos3": lambda: g.planted_pos_network("pos3", seed=307, n_pis=11, n_divisors=4, n_targets=7),
+    "add10": lambda: g.ripple_adder(10),
+    "cla8": lambda: g.carry_lookahead_adder(8),
+    "cmp10": lambda: g.comparator(10),
+    "dec4": lambda: g.decoder(4),
+    "mux4": lambda: g.mux_tree(4),
+    "alu4": lambda: g.alu_slice(4),
+    "pri10": lambda: g.priority_encoder(10),
+    "maj7": lambda: g.majority_voter(7),
+}
+
+#: A smaller subset for quick smoke runs (CI and pytest-benchmark).
+QUICK_NAMES: List[str] = [
+    "add6", "cmp6", "dec3", "mux3", "rnd1", "rnd3", "pos2",
+]
+
+
+def benchmark_names() -> List[str]:
+    """All suite circuit names, in table order."""
+    return list(_SUITE)
+
+
+def benchmark_suite(quick: bool = False) -> List[str]:
+    """Names of the suite circuits (quick subset if requested)."""
+    return list(QUICK_NAMES) if quick else benchmark_names()
+
+
+def build_benchmark(name: str) -> Network:
+    """Construct a fresh copy of a suite circuit by name."""
+    try:
+        builder = _SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(_SUITE)}"
+        ) from None
+    return builder()

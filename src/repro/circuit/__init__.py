@@ -1,0 +1,32 @@
+"""Gate-level structural circuit view.
+
+The paper's algorithm "operates on circuit structure directly": every
+node's SOP is decomposed into a two-level AND–OR gate region, and
+redundancy addition/removal reasons over wires of those gates.  This
+subpackage provides the structural representation (:class:`Gate`,
+:class:`Circuit`) and the network-to-circuit decomposition.
+
+Inverters and buffers are folded into edge phases: every gate input is
+a ``(signal, phase)`` pair, so a "wire" in the paper's sense (a literal
+feeding an AND, or a cube feeding an OR) is exactly one input edge.
+"""
+
+from repro.circuit.gate import Gate, GateKind
+from repro.circuit.circuit import Circuit
+from repro.circuit.decompose import network_to_circuit, node_region_gates
+from repro.circuit.mapback import (
+    network_redundancy_removal,
+    node_cover_from_gates,
+    update_network_from_circuit,
+)
+
+__all__ = [
+    "Gate",
+    "GateKind",
+    "Circuit",
+    "network_to_circuit",
+    "node_region_gates",
+    "network_redundancy_removal",
+    "node_cover_from_gates",
+    "update_network_from_circuit",
+]

@@ -1,0 +1,60 @@
+"""Gates for the structural circuit view."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+
+class GateKind(enum.Enum):
+    """Gate kinds; NOT/BUF are folded into input-edge phases."""
+
+    PI = "pi"
+    AND = "and"
+    OR = "or"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+
+class Gate:
+    """A gate: output signal name, kind, and phased input edges.
+
+    ``inputs`` is a list of ``(signal, phase)`` pairs; ``phase`` True
+    means the signal feeds in directly, False means inverted.  Each
+    pair is one *wire* in the paper's sense.
+    """
+
+    __slots__ = ("name", "kind", "inputs")
+
+    def __init__(
+        self,
+        name: str,
+        kind: GateKind,
+        inputs: List[Tuple[str, bool]] = (),
+    ):
+        self.name = name
+        self.kind = kind
+        self.inputs: List[Tuple[str, bool]] = list(inputs)
+        if kind in (GateKind.PI, GateKind.CONST0, GateKind.CONST1):
+            if self.inputs:
+                raise ValueError(f"{kind.value} gate cannot have inputs")
+
+    def is_source(self) -> bool:
+        return self.kind in (GateKind.PI, GateKind.CONST0, GateKind.CONST1)
+
+    def controlling_value(self) -> bool:
+        """The input value that determines the output by itself."""
+        if self.kind == GateKind.AND:
+            return False
+        if self.kind == GateKind.OR:
+            return True
+        raise ValueError(f"{self.kind.value} gate has no controlling value")
+
+    def copy(self) -> "Gate":
+        return Gate(self.name, self.kind, list(self.inputs))
+
+    def __repr__(self) -> str:
+        edges = ", ".join(
+            s if phase else s + "'" for s, phase in self.inputs
+        )
+        return f"Gate({self.name} = {self.kind.value}({edges}))"

@@ -1,0 +1,134 @@
+"""Mapping an optimized two-level gate structure back onto a network.
+
+:func:`repro.circuit.decompose.network_to_circuit` lowers every node
+into AND/OR gates with a fixed naming convention (``f`` for the output
+gate, ``f.c{i}`` for multi-literal cubes).  After gate-level rewrites
+(e.g. redundancy removal) this module reconstructs each node's SOP
+cover from its — possibly modified — gate region, giving network
+passes access to the whole ATPG substrate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.circuit.circuit import Circuit
+from repro.circuit.gate import Gate, GateKind
+from repro.network.network import Network
+
+
+def _cube_from_inputs(
+    inputs: List[Tuple[str, bool]], fanin_index: dict
+) -> Optional[Cube]:
+    literals = {}
+    for signal, phase in inputs:
+        var = fanin_index[signal]
+        if var in literals and literals[var] != phase:
+            return None  # x·x' inside one cube: the cube vanished
+        literals[var] = phase
+    return Cube.from_literals(literals.items())
+
+
+def node_cover_from_gates(
+    circuit: Circuit, name: str
+) -> Tuple[List[str], Cover]:
+    """Reconstruct ``(fanins, cover)`` of node *name* from its gates."""
+    gate = circuit.gates[name]
+    prefix = f"{name}.c"
+
+    def is_cube_gate(signal: str) -> bool:
+        return signal.startswith(prefix) and signal in circuit.gates
+
+    # Gather the fanin signal set first (deterministic order).
+    fanins: List[str] = []
+
+    def note(signal: str) -> None:
+        if signal not in fanins:
+            fanins.append(signal)
+
+    cube_inputs: List[List[Tuple[str, bool]]] = []
+    if gate.kind == GateKind.CONST0:
+        return [], Cover.zero(0)
+    if gate.kind == GateKind.CONST1:
+        return [], Cover.one(0)
+    if gate.kind == GateKind.AND:
+        cube_inputs.append(list(gate.inputs))
+        for signal, _ in gate.inputs:
+            note(signal)
+    else:  # OR over cube gates and/or direct literals
+        for signal, phase in gate.inputs:
+            if is_cube_gate(signal) and not phase:
+                raise ValueError(
+                    f"inverted cube-gate edge {signal!r} cannot be "
+                    "mapped back to a SOP cover"
+                )
+            if is_cube_gate(signal):
+                sub = circuit.gates[signal]
+                if sub.kind == GateKind.CONST1:
+                    cube_inputs.append([])
+                    continue
+                cube_inputs.append(list(sub.inputs))
+                for inner, _ in sub.inputs:
+                    note(inner)
+            else:
+                cube_inputs.append([(signal, phase)])
+                note(signal)
+
+    index = {signal: i for i, signal in enumerate(fanins)}
+    cubes: List[Cube] = []
+    for inputs in cube_inputs:
+        cube = _cube_from_inputs(inputs, index)
+        if cube is not None:
+            cubes.append(cube)
+    cover = Cover(len(fanins), cubes).single_cube_containment()
+    return fanins, cover
+
+
+def update_network_from_circuit(
+    network: Network, circuit: Circuit
+) -> int:
+    """Write every node's reconstructed cover back into *network*.
+
+    Returns the number of nodes whose function text changed.  The
+    circuit must have been produced by ``network_to_circuit`` on this
+    network (same names) and only modified structurally (wires
+    removed/added, gates degenerated to constants).
+    """
+    changed = 0
+    for node in network.internal_nodes():
+        if node.name not in circuit.gates:
+            continue
+        fanins, cover = node_cover_from_gates(circuit, node.name)
+        if fanins == node.fanins and cover == node.cover:
+            continue
+        node.set_function(fanins, cover)
+        node.prune_unused_fanins()
+        changed += 1
+    return changed
+
+
+def network_redundancy_removal(
+    network: Network, learn_depth: int = 1, max_rounds: int = 5
+) -> int:
+    """Classical RAR cleanup at network level: decompose, remove every
+    wire whose fault is untestable, map back.  Returns wires removed.
+
+    This is the Section-II substrate used directly as an optimization
+    (no divisor involved): implications run over the whole circuit, so
+    the removals exploit the same internal don't cares as the GDC
+    substitution configuration.
+    """
+    from repro.atpg.redundancy import redundancy_removal
+    from repro.circuit.decompose import network_to_circuit
+
+    circuit = network_to_circuit(network)
+    observables = set(network.pos)
+    removed = redundancy_removal(
+        circuit, observables, learn_depth=learn_depth, max_rounds=max_rounds
+    )
+    if removed:
+        update_network_from_circuit(network, circuit)
+        network.sweep_dangling()
+    return removed

@@ -1,0 +1,198 @@
+"""Command-line experiment runner and BLIF optimizer.
+
+Usage::
+
+    python -m repro table2            # Script A   (paper Table II)
+    python -m repro table3            # Script B   (paper Table III)
+    python -m repro table4            # Script C   (paper Table IV)
+    python -m repro table5            # script.algebraic (paper Table V)
+    python -m repro all               # all four tables
+    python -m repro --quick table2    # smaller suite
+    python -m repro --circuits rnd1,add6 table2
+    python -m repro --methods sis,basic table2
+
+    # optimize a BLIF netlist (or a named suite circuit, bench:NAME)
+    python -m repro optimize design.blif --method ext -o out.blif
+    python -m repro optimize bench:rnd2 --script A --method ext_gdc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.network.network import Network
+from repro.bench.suite import benchmark_suite, build_benchmark
+from repro.scripts.flows import (
+    run_script_algebraic_table,
+    run_script_table,
+)
+from repro.scripts.tables import format_table
+
+_TABLE_SCRIPTS = {"table2": "A", "table3": "B", "table4": "C"}
+_ALL_METHODS = ["sis", "basic", "ext", "ext_gdc"]
+
+
+def _build_benchmarks(names: List[str]) -> Dict[str, Network]:
+    return {name: build_benchmark(name) for name in names}
+
+
+def _run_one(
+    table: str, names: List[str], methods: List[str], verify: bool
+) -> str:
+    benchmarks = _build_benchmarks(names)
+    if table in _TABLE_SCRIPTS:
+        result = run_script_table(
+            benchmarks, _TABLE_SCRIPTS[table], methods, verify=verify
+        )
+    elif table == "table5":
+        result = run_script_algebraic_table(
+            benchmarks, methods, verify=verify
+        )
+    else:
+        raise ValueError(f"unknown table {table!r}")
+    return format_table(result)
+
+
+def _optimize_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro optimize",
+        description="Optimize a BLIF netlist with Boolean substitution.",
+    )
+    parser.add_argument(
+        "input",
+        help="BLIF file, or bench:NAME for a suite circuit",
+    )
+    parser.add_argument(
+        "--method",
+        default="ext",
+        choices=sorted(_method_table()),
+        help="substitution method (default: ext)",
+    )
+    parser.add_argument(
+        "--script",
+        default="A",
+        choices=["A", "B", "C", "none"],
+        help="preparation script (default: A)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        help="write optimized BLIF here (default: stdout)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the equivalence check",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.network.blif import read_blif, to_blif_str
+    from repro.network.factor import network_literals
+    from repro.network.verify import networks_equivalent, simulate_equivalent
+    from repro.scripts.flows import SCRIPTS, run_method
+
+    if args.input.startswith("bench:"):
+        network = build_benchmark(args.input[len("bench:"):])
+    else:
+        with open(args.input) as handle:
+            network = read_blif(handle)
+    reference = network.copy("reference")
+    initial = network_literals(network)
+
+    if args.script != "none":
+        SCRIPTS[args.script](network)
+    stats = run_method(network, args.method)
+
+    if not args.no_verify:
+        if len(network.pis) <= 24:
+            ok = networks_equivalent(reference, network)
+        else:
+            ok = simulate_equivalent(reference, network, patterns=512)
+        if not ok:
+            print("ERROR: optimized network is NOT equivalent", file=sys.stderr)
+            return 1
+
+    blif = to_blif_str(network)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(blif)
+    else:
+        sys.stdout.write(blif)
+    print(
+        f"# {network.name}: {initial} -> {int(stats['literals'])} "
+        f"factored literals ({args.method}, {stats['cpu']:.2f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _method_table():
+    from repro.scripts.flows import METHODS
+
+    return METHODS
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; see the module docstring for usage."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "optimize":
+        return _optimize_main(argv[1:])
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the experiment tables of 'Efficient Boolean "
+            "Division and Substitution Using Redundancy Addition and "
+            "Removing' (Chang & Cheng, DAC'98/TCAD'99)."
+        ),
+    )
+    parser.add_argument(
+        "tables",
+        nargs="+",
+        choices=["table2", "table3", "table4", "table5", "all"],
+        help="which experiment table(s) to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the smaller quick suite",
+    )
+    parser.add_argument(
+        "--circuits",
+        help="comma-separated circuit names (overrides the suite)",
+    )
+    parser.add_argument(
+        "--methods",
+        help=f"comma-separated subset of {','.join(_ALL_METHODS)}",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip per-run equivalence checking (faster)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.circuits:
+        names = [n.strip() for n in args.circuits.split(",") if n.strip()]
+    else:
+        names = benchmark_suite(quick=args.quick)
+    methods = _ALL_METHODS
+    if args.methods:
+        methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+        unknown = [m for m in methods if m not in _ALL_METHODS]
+        if unknown:
+            parser.error(f"unknown methods: {unknown}")
+
+    tables = args.tables
+    if "all" in tables:
+        tables = ["table2", "table3", "table4", "table5"]
+    for table in tables:
+        print(_run_one(table, names, methods, verify=not args.no_verify))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Configuration for the division/substitution engine.
+
+The paper evaluates three configurations (Section V):
+
+1. ``basic``   — basic division only,
+2. ``ext``     — extended division, implications confined to the
+                 dividend/divisor regions (no global don't cares),
+3. ``ext GDC`` — extended division with implications through the whole
+                 circuit plus recursive learning (global internal
+                 don't cares).
+
+The module-level constants :data:`BASIC`, :data:`EXTENDED` and
+:data:`EXTENDED_GDC` are those three setups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class DivisionConfig:
+    """Knobs of the RAR division/substitution engine."""
+
+    #: "basic" (divisor used as-is) or "extended" (divisor may be
+    #: decomposed around a voted core).
+    mode: str = "basic"
+
+    #: Extend implications through the whole circuit (global internal
+    #: don't cares) instead of only the dividend/divisor regions.
+    global_dc: bool = False
+
+    #: Recursive-learning depth used when checking untestability
+    #: (0 = direct implications only).  The paper's GDC configuration
+    #: corresponds to depth 1.
+    learn_depth: int = 0
+
+    #: Also attempt division in product-of-sums form (the paper's POS
+    #: symmetric case).
+    try_pos: bool = True
+
+    #: Also try the complement of the divisor (substituting with a
+    #: negative-phase literal of the divisor node).
+    try_complement: bool = True
+
+    #: Maximum number of substitution sweeps over the network.
+    max_passes: int = 3
+
+    #: Candidate divisors considered per dividend (closest supports
+    #: first); keeps the pass near-linear on large networks.
+    max_divisors: int = 25
+
+    #: Upper bound on dividend cubes for a division attempt (guards
+    #: the wire-by-wire removal loop).
+    max_region_cubes: int = 64
+
+    #: Exact maximum-clique search is used up to this many vertices in
+    #: the vote graph; larger graphs fall back to a greedy clique.
+    exact_clique_limit: int = 30
+
+    #: Oracle mode: when the implication test fails to prove a wire
+    #: removable, additionally check with a BDD network-equivalence
+    #: oracle whether removing it preserves every primary output
+    #: (i.e. use the *complete* internal don't-care set, SDCs and
+    #: ODCs).  Quality upper bound for the implication dial; very
+    #: slow, used by the ablation benches only.
+    oracle_dc: bool = False
+
+    #: Verify every accepted rewrite by random simulation (cheap) —
+    #: a belt-and-braces guard; the test suite uses BDDs instead.
+    verify_with_simulation: bool = False
+
+    def __post_init__(self):
+        if self.mode not in ("basic", "extended"):
+            raise ValueError("mode must be 'basic' or 'extended'")
+        if self.learn_depth < 0:
+            raise ValueError("learn_depth must be >= 0")
+
+
+#: Configuration 1 of the paper's experiments.
+BASIC = DivisionConfig(mode="basic")
+
+#: Configuration 2: extended division without global don't cares.
+#: Implications (including one level of learning) stay confined to the
+#: dividend/divisor regions — the paper's "limit our implication
+#: process only inside a small region" setting.
+EXTENDED = DivisionConfig(mode="extended", learn_depth=1)
+
+#: Configuration 3: extended division with global don't cares.
+EXTENDED_GDC = DivisionConfig(mode="extended", global_dc=True, learn_depth=1)
+
+#: Oracle upper bound: extended division where every failed
+#: implication test is retried against a complete-don't-care BDD
+#: oracle.  Not one of the paper's configurations — used to measure
+#: how much of the full Boolean potential the implications capture.
+ORACLE = DivisionConfig(
+    mode="extended", global_dc=True, learn_depth=1, oracle_dc=True
+)

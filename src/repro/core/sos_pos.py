@@ -1,0 +1,111 @@
+"""SOS and POS containment (Section III-A of the paper).
+
+Definitions (over the same variable space):
+
+* ``g`` is a *sum-of-subproducts* (SOS) of ``f`` iff every cube of
+  ``f`` is contained by at least one cube of ``g`` — each cube of
+  ``g`` involved is a *subproduct* (fewer literals) of a cube of ``f``.
+  Lemma 1: then ``f · g = f``.
+* ``g`` is a *product-of-subsums* (POS) of ``f`` iff every sum term of
+  ``f`` contains at least one sum term of ``g``.  Lemma 2: then
+  ``f + g = f``.
+
+These are the properties that make the paper's added wires/gates
+redundant *a priori* — no redundancy test is needed on the addition.
+POS objects are represented by the cover of the function's complement
+(each complement cube is the literal-wise negation of a sum term), so
+the POS predicates reduce to cube containment as well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+
+
+def is_sos_of(g: Cover, f: Cover) -> bool:
+    """True iff *g* is a sum-of-subproducts of *f*.
+
+    Every cube of ``f`` must be contained by (minterm-wise inside) at
+    least one cube of ``g``.
+    """
+    g._check_compatible(f)
+    return all(
+        any(k.contains(c) for k in g.cubes) for c in f.cubes
+    )
+
+
+def sos_split(f: Cover, g: Cover) -> Tuple[List[int], List[int]]:
+    """Indices of *f*'s cubes in the region vs. the remainder.
+
+    A cube belongs to the region (``F1``) when some cube of *g*
+    contains it; the rest form the remainder ``R``.  By construction
+    *g* is an SOS of the region, so ``f = R + g·F1`` (Lemma 1).
+    """
+    region: List[int] = []
+    remainder: List[int] = []
+    for i, c in enumerate(f.cubes):
+        if any(k.contains(c) for k in g.cubes):
+            region.append(i)
+        else:
+            remainder.append(i)
+    return region, remainder
+
+
+def _sum_term_contains(s: Cube, t: Cube) -> bool:
+    """On-set containment of sum terms represented as literal sets.
+
+    A sum term with *fewer* literals is contained by one with more:
+    ``(a) <= (a + b)``.  With sum terms encoded as cubes of their
+    literals, ``s`` contains ``t`` iff ``t``'s literals are a subset of
+    ``s``'s — the reverse of the cube rule.
+    """
+    return (t.pos & ~s.pos) == 0 and (t.neg & ~s.neg) == 0
+
+
+def is_pos_of(g_terms: Cover, f_terms: Cover) -> bool:
+    """True iff *g* is a product-of-subsums of *f*.
+
+    Both arguments list sum terms encoded as cubes of their literals
+    (e.g. the term ``a + b'`` is the cube with literals ``a`` and
+    ``b'``).  Every sum term of *f* must contain at least one sum term
+    of *g* (a *subsum*: fewer literals).
+    """
+    g_terms._check_compatible(f_terms)
+    return all(
+        any(_sum_term_contains(s, t) for t in g_terms.cubes)
+        for s in f_terms.cubes
+    )
+
+
+def pos_split(
+    f_terms: Cover, g_terms: Cover
+) -> Tuple[List[int], List[int]]:
+    """POS analogue of :func:`sos_split`.
+
+    Sum terms of *f* that contain some sum term of *g* form the region
+    ``F1`` with ``f = R · (g + F1)`` (Lemma 2); the rest form ``R``.
+    """
+    region: List[int] = []
+    remainder: List[int] = []
+    for i, s in enumerate(f_terms.cubes):
+        if any(_sum_term_contains(s, t) for t in g_terms.cubes):
+            region.append(i)
+        else:
+            remainder.append(i)
+    return region, remainder
+
+
+def sum_terms_of(cover_complement: Cover) -> Cover:
+    """Sum terms of a function given the cover of its complement.
+
+    By De Morgan each cube of the complement corresponds to one sum
+    term whose literals are negated: ``f' = a b'  =>  f = a' + b``.
+    The returned cover lists the sum terms as literal cubes.
+    """
+    terms = [
+        Cube(c.neg, c.pos) for c in cover_complement.cubes
+    ]
+    return Cover(cover_complement.num_vars, terms)

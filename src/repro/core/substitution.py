@@ -1,0 +1,333 @@
+"""Network-level Boolean substitution passes.
+
+Drives the division machinery over a whole network, in the paper's
+three experimental configurations (basic / ext / ext GDC).  Matching
+the paper's implementation, acceptance is *locally greedy*: the first
+division with a positive factored-literal gain is taken (Section V
+notes this is why ext-GDC can occasionally lose to ext).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.factor import factored_literals, network_literals
+from repro.network.network import Network
+from repro.network.verify import simulate_equivalent
+from repro.core.config import DivisionConfig
+from repro.core.division import (
+    apply_division,
+    boolean_divide,
+    build_analysis_circuit,
+    divide_node_pair,
+)
+from repro.core.extended import (
+    build_vote_table,
+    choose_core_divisor,
+    decompose_divisor,
+    decompose_divisor_pos,
+)
+
+
+@dataclasses.dataclass
+class SubstitutionStats:
+    """Bookkeeping for one :func:`substitute_network` run."""
+
+    attempts: int = 0
+    accepted: int = 0
+    wires_removed: int = 0
+    cubes_removed: int = 0
+    cores_extracted: int = 0
+    literals_before: int = 0
+    literals_after: int = 0
+    cpu_seconds: float = 0.0
+
+    def improvement(self) -> float:
+        if self.literals_before == 0:
+            return 0.0
+        return 100.0 * (
+            self.literals_before - self.literals_after
+        ) / self.literals_before
+
+
+def _candidate_divisors(
+    network: Network, f_name: str, config: DivisionConfig
+) -> List[str]:
+    """Divisor candidates for *f*, closest supports first.
+
+    A divisor must be an internal, non-constant node that does not
+    depend on *f* (no combinational cycle) and must be related to
+    *f*'s support: either it shares fanin signals with *f* (cube
+    containment needs common literals) or it *is* one of *f*'s fanins
+    (re-dividing by an existing fanin is how implication conflicts
+    through that fanin's logic simplify *f* — the SDC-style rewrites).
+    """
+    f_node = network.nodes[f_name]
+    f_support = set(f_node.fanins)
+    blocked = network.transitive_fanout(f_name)
+    blocked.add(f_name)
+    scored: List[Tuple[int, int, int, str]] = []
+    for position, node in enumerate(network.internal_nodes()):
+        if node.name in blocked or node.is_constant():
+            continue
+        overlap = len(f_support & set(node.fanins))
+        is_fanin = node.name in f_support
+        if overlap == 0 and not is_fanin:
+            continue
+        # Existing fanins are tried *last*: their in-place rewrites are
+        # cleanups that should not pre-empt genuine substitutions.
+        scored.append((int(is_fanin), -overlap, position, node.name))
+    scored.sort()
+    return [name for _, _, _, name in scored[: config.max_divisors]]
+
+
+class _Snapshot:
+    """Undo buffer for a handful of nodes (used on rejected rewrites)."""
+
+    def __init__(self, network: Network, names: Sequence[str]):
+        self.network = network
+        self.saved = {
+            name: (
+                list(network.nodes[name].fanins),
+                network.nodes[name].cover,
+            )
+            for name in names
+            if name in network.nodes
+        }
+        self.created: List[str] = []
+
+    def note_created(self, name: str) -> None:
+        self.created.append(name)
+
+    def restore(self) -> None:
+        for name, (fanins, cover) in self.saved.items():
+            self.network.nodes[name].set_function(fanins, cover)
+        for name in self.created:
+            if name in self.network.nodes:
+                fanouts = self.network.fanouts()[name]
+                if not fanouts and name not in self.network.pos:
+                    self.network.remove_node(name)
+
+
+def _try_extended(
+    network: Network,
+    f_name: str,
+    divisors: List[str],
+    config: DivisionConfig,
+    stats: SubstitutionStats,
+    reference: Optional[Network],
+    form: str = "sop",
+) -> bool:
+    """One extended-division attempt on *f* over pooled divisors.
+
+    ``form="pos"`` runs the paper's symmetric case: the vote table is
+    built over sum terms (in the dual space) and the divisor is
+    decomposed as a product ``d = dc · dr``.  The POS side is only
+    attempted on compactly product-formed functions (small complement
+    covers) — on SOP-heavy nodes the dual space explodes and the basic
+    POS attempts already cover the whole-divisor case.
+    """
+    if form == "pos":
+        from repro.twolevel.complement import complement as _complement
+
+        f_cover = network.nodes[f_name].cover
+        dual = _complement(f_cover)
+        if dual.num_cubes() > min(
+            config.max_region_cubes, 2 * f_cover.num_cubes() + 4
+        ):
+            return False
+        divisors = [
+            d
+            for d in divisors
+            if _complement(network.nodes[d].cover).num_cubes() <= 8
+        ]
+        if not divisors:
+            return False
+    table = build_vote_table(network, f_name, divisors, config, form=form)
+    choice = choose_core_divisor(table, config)
+    if choice is None:
+        return False
+    d_name = choice.divisor_name
+    d_node = network.nodes[d_name]
+    whole = len(choice.cube_indices) == len(
+        table.divisor_cubes[d_name].cubes
+    )
+
+    stats.attempts += 1
+    if whole and form == "pos":
+        # Whole-divisor POS division is already tried by the basic
+        # per-divisor loop; only the decomposition case is new here.
+        return False
+    if whole:
+        result = boolean_divide(network, f_name, d_name, config, form=form)
+        if result is None or result.gain <= 0:
+            return False
+        snapshot = _Snapshot(network, [f_name])
+        apply_division(network, result)
+        if not _verify_ok(network, reference, config):
+            snapshot.restore()
+            return False
+        stats.accepted += 1
+        stats.wires_removed += result.wires_removed
+        stats.cubes_removed += result.cubes_removed
+        return True
+
+    # Decompose the divisor around the core, then basic-divide by the
+    # exposed core node; accept only if the *total* factored literal
+    # count (dividend + divisor + new core node) actually drops, and
+    # undo the decomposition otherwise.
+    snapshot = _Snapshot(network, [f_name, d_name])
+    before_total = (
+        factored_literals(network.nodes[f_name].cover)
+        + factored_literals(d_node.cover)
+    )
+    if form == "sop":
+        core_name = decompose_divisor(network, d_name, choice.cube_indices)
+    else:
+        core_name = decompose_divisor_pos(
+            network, d_name, choice.cube_indices
+        )
+    snapshot.note_created(core_name)
+    result = boolean_divide(network, f_name, core_name, config, form=form)
+    if result is None:
+        snapshot.restore()
+        return False
+    apply_division(network, result)
+    after_total = (
+        factored_literals(network.nodes[f_name].cover)
+        + factored_literals(network.nodes[d_name].cover)
+        + factored_literals(network.nodes[core_name].cover)
+    )
+    if after_total >= before_total or not _verify_ok(
+        network, reference, config
+    ):
+        snapshot.restore()
+        return False
+    stats.accepted += 1
+    stats.cores_extracted += 1
+    stats.wires_removed += result.wires_removed
+    stats.cubes_removed += result.cubes_removed
+    return True
+
+
+def _verify_ok(
+    network: Network,
+    reference: Optional[Network],
+    config: DivisionConfig,
+) -> bool:
+    if not config.verify_with_simulation or reference is None:
+        return True
+    return simulate_equivalent(reference, network)
+
+
+def substitute_pass(
+    network: Network,
+    config: DivisionConfig,
+    stats: Optional[SubstitutionStats] = None,
+    reference: Optional[Network] = None,
+) -> int:
+    """One sweep over all nodes; returns accepted substitutions."""
+    if stats is None:
+        stats = SubstitutionStats()
+    accepted_before = stats.accepted
+    names = [node.name for node in network.internal_nodes()]
+    for f_name in names:
+        if f_name not in network.nodes:
+            continue
+        node = network.nodes[f_name]
+        if node.is_pi or node.is_constant() or node.cover is None:
+            continue
+        divisors = _candidate_divisors(network, f_name, config)
+        if not divisors:
+            continue
+
+        # Basic attempts per divisor first (this is the whole story in
+        # basic mode; in extended mode it takes the cheap wins so the
+        # decomposition step below only fires where basic failed).
+        # In GDC mode the analysis circuit covers the whole network
+        # minus TFO(f) and is divisor-independent, so it is built once
+        # per dividend (rewrites of f itself never invalidate it — f's
+        # own gates are excluded by construction).
+        shared_circuit = None
+        if config.global_dc:
+            shared_circuit = build_analysis_circuit(
+                network, f_name, [], config
+            )
+        for d_name in divisors:
+            if d_name not in network.nodes:
+                continue
+            stats.attempts += 1
+            result = divide_node_pair(
+                network, f_name, d_name, config, circuit=shared_circuit
+            )
+            if result is None:
+                continue
+            snapshot = _Snapshot(network, [f_name])
+            apply_division(network, result)
+            if not _verify_ok(network, reference, config):
+                snapshot.restore()
+                continue
+            stats.accepted += 1
+            stats.wires_removed += result.wires_removed
+            stats.cubes_removed += result.cubes_removed
+
+        if config.mode == "extended":
+            # Extended division over the pooled candidates; repeat while
+            # it keeps paying (f shrinks each time).
+            for _ in range(4):
+                divisors = _candidate_divisors(network, f_name, config)
+                if not divisors or not _try_extended(
+                    network, f_name, divisors, config, stats, reference
+                ):
+                    break
+
+    if config.mode == "extended" and config.try_pos:
+        # The symmetric POS-side case (paper, end of Sec. IV) runs as a
+        # second phase: a divisor decomposition perturbs every later
+        # attempt on other dividends, so the SOP opportunities are
+        # harvested across the whole network first.
+        for f_name in names:
+            if f_name not in network.nodes:
+                continue
+            node = network.nodes[f_name]
+            if node.is_pi or node.is_constant() or node.cover is None:
+                continue
+            for _ in range(2):
+                divisors = _candidate_divisors(network, f_name, config)
+                if not divisors or not _try_extended(
+                    network,
+                    f_name,
+                    divisors,
+                    config,
+                    stats,
+                    reference,
+                    form="pos",
+                ):
+                    break
+    return stats.accepted - accepted_before
+
+
+def substitute_network(
+    network: Network,
+    config: DivisionConfig,
+    reference: Optional[Network] = None,
+) -> SubstitutionStats:
+    """Run substitution passes to a fixpoint (the paper's "one run").
+
+    Returns the statistics, including factored-literal counts before
+    and after and the wall-clock time spent.
+    """
+    stats = SubstitutionStats()
+    stats.literals_before = network_literals(network)
+    if config.verify_with_simulation and reference is None:
+        reference = network.copy("reference")
+    start = time.perf_counter()
+    for _ in range(config.max_passes):
+        if substitute_pass(network, config, stats, reference) == 0:
+            break
+    network.sweep_dangling()
+    stats.cpu_seconds = time.perf_counter() - start
+    stats.literals_after = network_literals(network)
+    return stats

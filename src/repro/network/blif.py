@@ -1,0 +1,151 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+Supports the combinational subset used by MCNC-style benchmarks:
+``.model``, ``.inputs``, ``.outputs``, ``.names`` with PLA-style cover
+rows, and ``.end``.  Latches and subcircuits are out of scope (the
+paper's experiments are combinational).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, TextIO, Union
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.network.network import Network
+
+
+def _logical_lines(stream: Iterable[str]) -> Iterable[str]:
+    """Strip comments and join ``\\`` continuations."""
+    pending = ""
+    for raw in stream:
+        line = raw.split("#", 1)[0].rstrip("\n")
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = (pending + line).strip()
+        pending = ""
+        if line:
+            yield line
+    if pending.strip():
+        yield pending.strip()
+
+
+def read_blif(source: Union[str, TextIO]) -> Network:
+    """Parse BLIF text (a string or a file object) into a Network."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+
+    network = Network()
+    outputs: List[str] = []
+    pending_names: List[str] = []
+    pending_rows: List[str] = []
+    declared_inputs: List[str] = []
+
+    def flush_names() -> None:
+        if not pending_names:
+            return
+        *fanins, target = pending_names
+        cubes = []
+        is_one = False
+        for row in pending_rows:
+            parts = row.split()
+            if len(parts) == 1:
+                # Constant row: output value only.
+                if parts[0] == "1":
+                    is_one = True
+                continue
+            pattern, value = parts
+            if value != "1":
+                raise ValueError(
+                    "off-set .names rows (output 0) are not supported"
+                )
+            literals = []
+            for i, ch in enumerate(pattern):
+                if ch == "1":
+                    literals.append((i, True))
+                elif ch == "0":
+                    literals.append((i, False))
+                elif ch != "-":
+                    raise ValueError(f"bad cover character {ch!r}")
+            cubes.append(Cube.from_literals(literals))
+        if is_one:
+            cover = Cover.one(len(fanins))
+        else:
+            cover = Cover(len(fanins), cubes)
+        _ensure_declared(network, fanins)
+        network.add_node(target, fanins, cover)
+        pending_names.clear()
+        pending_rows.clear()
+
+    for line in _logical_lines(source):
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == ".model":
+            network.name = tokens[1] if len(tokens) > 1 else "model"
+        elif keyword == ".inputs":
+            flush_names()
+            for name in tokens[1:]:
+                declared_inputs.append(name)
+                network.add_pi(name)
+        elif keyword == ".outputs":
+            flush_names()
+            outputs.extend(tokens[1:])
+        elif keyword == ".names":
+            flush_names()
+            pending_names.extend(tokens[1:])
+        elif keyword == ".end":
+            flush_names()
+            break
+        elif keyword.startswith("."):
+            raise ValueError(f"unsupported BLIF construct {keyword!r}")
+        else:
+            pending_rows.append(line)
+    flush_names()
+
+    for name in outputs:
+        if name not in network.nodes:
+            raise ValueError(f"output {name!r} was never defined")
+        network.add_po(name)
+    return network
+
+
+def _ensure_declared(network: Network, names: List[str]) -> None:
+    for name in names:
+        if name not in network.nodes:
+            raise ValueError(
+                f".names uses {name!r} before it is defined "
+                "(forward references are not supported)"
+            )
+
+
+def write_blif(network: Network, stream: TextIO) -> None:
+    """Write the network as BLIF."""
+    stream.write(f".model {network.name}\n")
+    stream.write(".inputs " + " ".join(network.pis) + "\n")
+    stream.write(".outputs " + " ".join(network.pos) + "\n")
+    for name in network.topo_order():
+        node = network.nodes[name]
+        if node.is_pi:
+            continue
+        stream.write(".names " + " ".join(node.fanins + [name]) + "\n")
+        if node.cover.is_zero():
+            continue  # no rows means constant 0
+        if not node.fanins:
+            stream.write("1\n")
+            continue
+        for cube in node.cover.cubes:
+            row = []
+            for i in range(len(node.fanins)):
+                phase = cube.phase(i)
+                row.append("-" if phase is None else ("1" if phase else "0"))
+            stream.write("".join(row) + " 1\n")
+    stream.write(".end\n")
+
+
+def to_blif_str(network: Network) -> str:
+    """Render the network as a BLIF string."""
+    buffer = io.StringIO()
+    write_blif(network, buffer)
+    return buffer.getvalue()

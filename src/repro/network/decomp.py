@@ -1,0 +1,231 @@
+"""Node decomposition: factored-form, AND–OR, and bounded-fanin trees.
+
+Counterparts of SIS's ``decomp`` and ``tech_decomp``:
+
+* :func:`and_or_decompose` — replace every node by one node per cube
+  plus a disjunction node.  This is the paper's first step ("decompose
+  each node's internal sum-of-product form into two-level AND and OR
+  gates") expressed as a network rewrite, after which the network has
+  alternating AND/OR levels.
+* :func:`factored_decompose` — turn each node's algebraic factored
+  form into a tree of AND/OR nodes (SIS ``decomp -q``).
+* :func:`tech_decompose` — bound every node's fanin by splitting wide
+  conjunctions/disjunctions into balanced trees (SIS ``tech_decomp``).
+
+All rewrites preserve functionality; primary-output nodes keep their
+names so the network interface is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.network.factor import (
+    FactorConst,
+    FactorLeaf,
+    FactorNode,
+    FactorTree,
+    factor,
+)
+from repro.network.network import Network
+
+
+def _and_cover(width: int, phases: Sequence[bool]) -> Cover:
+    cube = Cube.from_literals(
+        (i, phase) for i, phase in enumerate(phases)
+    )
+    return Cover(width, [cube])
+
+
+def _or_cover(width: int, phases: Sequence[bool]) -> Cover:
+    cubes = [Cube.literal(i, phase) for i, phase in enumerate(phases)]
+    return Cover(width, cubes)
+
+
+def and_or_decompose(network: Network) -> int:
+    """Two-level AND–OR decomposition of every multi-cube node.
+
+    Returns the number of cube nodes created.
+    """
+    created = 0
+    for name in [n.name for n in network.internal_nodes()]:
+        node = network.nodes[name]
+        cover = node.cover
+        if cover is None or cover.num_cubes() < 2:
+            continue
+        or_fanins: List[str] = []
+        or_phases: List[bool] = []
+        for i, cube in enumerate(cover.cubes):
+            literals = list(cube.literals())
+            if len(literals) == 1:
+                var, phase = literals[0]
+                or_fanins.append(node.fanins[var])
+                or_phases.append(phase)
+                continue
+            cube_name = network.fresh_name(f"{name}_c")
+            fanins = [node.fanins[v] for v, _ in literals]
+            phases = [p for _, p in literals]
+            network.add_node(
+                cube_name, fanins, _and_cover(len(fanins), phases)
+            )
+            created += 1
+            or_fanins.append(cube_name)
+            or_phases.append(True)
+        node.set_function(
+            or_fanins, _or_cover(len(or_fanins), or_phases)
+        )
+    return created
+
+
+def _emit_tree(
+    network: Network, tree: FactorTree, fanins: Sequence[str], prefix: str
+) -> Tuple[str, bool]:
+    """Create nodes for a factor tree; returns (signal, phase)."""
+    if isinstance(tree, FactorLeaf):
+        return fanins[tree.var], tree.phase
+    if isinstance(tree, FactorConst):
+        name = network.fresh_name(f"{prefix}_k")
+        network.add_node(
+            name, [], Cover.one(0) if tree.value else Cover.zero(0)
+        )
+        return name, True
+    child_edges = [
+        _emit_tree(network, child, fanins, prefix)
+        for child in tree.children
+    ]
+    node_name = network.fresh_name(
+        f"{prefix}_{'a' if tree.kind == 'and' else 'o'}"
+    )
+    child_names = [s for s, _ in child_edges]
+    phases = [p for _, p in child_edges]
+    if tree.kind == "and":
+        cover = _and_cover(len(child_names), phases)
+    else:
+        cover = _or_cover(len(child_names), phases)
+    network.add_node(node_name, child_names, cover)
+    return node_name, True
+
+
+def factored_decompose(network: Network, min_literals: int = 5) -> int:
+    """Rewrite each big node as the tree of its factored form.
+
+    Nodes whose factored form has fewer than *min_literals* literals
+    are left alone (decomposing them would just add buffers).
+    Returns the number of nodes rewritten.
+    """
+    rewritten = 0
+    for name in [n.name for n in network.internal_nodes()]:
+        node = network.nodes[name]
+        cover = node.cover
+        if cover is None or node.is_constant():
+            continue
+        tree = factor(cover)
+        if tree.literal_count() < min_literals:
+            continue
+        if isinstance(tree, (FactorLeaf, FactorConst)):
+            continue
+        fanins = list(node.fanins)
+        child_edges = [
+            _emit_tree(network, child, fanins, name)
+            for child in tree.children
+        ]
+        child_names = [s for s, _ in child_edges]
+        phases = [p for _, p in child_edges]
+        if tree.kind == "and":
+            cover = _and_cover(len(child_names), phases)
+        else:
+            cover = _or_cover(len(child_names), phases)
+        node.set_function(child_names, cover)
+        rewritten += 1
+    network.sweep_dangling()
+    return rewritten
+
+
+def tech_decompose(network: Network, max_fanin: int = 4) -> int:
+    """Bound node fanin by splitting wide AND/OR nodes into trees.
+
+    Only pure conjunction (single-cube) and pure disjunction
+    (all-single-literal-cubes) nodes are split; general nodes are
+    first taken apart by :func:`and_or_decompose`.  Returns the number
+    of splits performed.
+    """
+    if max_fanin < 2:
+        raise ValueError("max_fanin must be at least 2")
+    and_or_decompose(network)
+    splits = 0
+    work = [n.name for n in network.internal_nodes()]
+    while work:
+        name = work.pop()
+        node = network.nodes.get(name)
+        if node is None or node.cover is None:
+            continue
+        node.prune_unused_fanins()
+        if len(node.fanins) <= max_fanin:
+            continue
+        kind = _gate_kind(node.cover)
+        if kind is None:
+            continue
+        # Split off the first max_fanin inputs into a helper node.
+        phases = _phases(node.cover, kind)
+        head = list(zip(node.fanins, phases))[:max_fanin]
+        tail = list(zip(node.fanins, phases))[max_fanin:]
+        helper = network.fresh_name(f"{name}_t")
+        head_names = [s for s, _ in head]
+        head_phases = [p for _, p in head]
+        if kind == "and":
+            network.add_node(
+                helper, head_names, _and_cover(len(head), head_phases)
+            )
+        else:
+            network.add_node(
+                helper, head_names, _or_cover(len(head), head_phases)
+            )
+        new_edges = [(helper, True)] + tail
+        names = [s for s, _ in new_edges]
+        new_phases = [p for _, p in new_edges]
+        if kind == "and":
+            node.set_function(names, _and_cover(len(names), new_phases))
+        else:
+            node.set_function(names, _or_cover(len(names), new_phases))
+        splits += 1
+        work.append(name)  # may still be too wide
+    return splits
+
+
+def _gate_kind(cover: Cover) -> str:
+    """'and' / 'or' for pure gate covers, None otherwise.
+
+    A pure gate must mention every variable exactly once so that the
+    phase list below lines up with the fanin list positionally.
+    """
+    n = cover.num_vars
+    if cover.num_cubes() == 1:
+        cube = cover.cubes[0]
+        if cube.num_literals() == n and n >= 2:
+            return "and"
+        return None
+    if cover.num_cubes() == n and n >= 2:
+        seen = set()
+        for cube in cover.cubes:
+            if cube.num_literals() != 1:
+                return None
+            (var, _), = cube.literals()
+            seen.add(var)
+        if len(seen) == n:
+            return "or"
+    return None
+
+
+def _phases(cover: Cover, kind: str) -> List[bool]:
+    """Phase of each variable, indexed by fanin position."""
+    phases: List[bool] = [True] * cover.num_vars
+    if kind == "and":
+        for var, phase in cover.cubes[0].literals():
+            phases[var] = phase
+        return phases
+    for cube in cover.cubes:
+        (var, phase), = cube.literals()
+        phases[var] = phase
+    return phases

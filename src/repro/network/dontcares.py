@@ -1,0 +1,219 @@
+"""Structural don't-care computation (SDC/ODC) and full_simplify.
+
+The paper's GDC configuration exploits internal don't cares through
+implications; this module computes the same information *explicitly*
+with BDDs, which serves three purposes:
+
+* an independent oracle for testing the implication-based machinery
+  (anything the implications deduce must be inside these sets),
+* SIS's ``full_simplify``: per-node espresso against the node's
+  complete local don't-care set,
+* documentation of what "satisfiability" and "observability" don't
+  cares mean operationally.
+
+For a node ``n`` with fanins ``y1..yk``:
+
+* the **satisfiability don't cares** (SDCs) are the fanin patterns
+  that can never appear: ``NOT ∃x . ∧ (yi == Yi(x))``,
+* the **observability don't cares** (ODCs) are the fanin patterns
+  under which flipping ``n`` changes no primary output.
+
+Both are returned as covers over the node's fanin variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bdd import BDD_ONE, BDD_ZERO, BddManager
+from repro.twolevel.cover import Cover
+from repro.twolevel.minimize import espresso
+from repro.network.network import Network
+
+
+def _node_global_bdds(
+    network: Network, manager: BddManager, pi_index: Dict[str, int]
+) -> Dict[str, int]:
+    """Global (PI-space) BDDs of every node."""
+    values: Dict[str, int] = {}
+    for name in network.topo_order():
+        node = network.nodes[name]
+        if node.is_pi:
+            values[name] = manager.var(pi_index[name])
+            continue
+        fanin_bdds = [values[f] for f in node.fanins]
+        acc = BDD_ZERO
+        for cube in node.cover.cubes:
+            term = BDD_ONE
+            for var, phase in cube.literals():
+                operand = fanin_bdds[var]
+                if not phase:
+                    operand = manager.not_(operand)
+                term = manager.and_(term, operand)
+                if term == BDD_ZERO:
+                    break
+            acc = manager.or_(acc, term)
+        values[name] = acc
+    return values
+
+
+class DontCareComputer:
+    """Computes local don't-care sets for nodes of one network.
+
+    The network must not change between calls; build a new computer
+    after rewrites.  Intended for small/medium networks (everything
+    is expressed in PI space).
+    """
+
+    def __init__(self, network: Network, max_pis: int = 24):
+        if len(network.pis) > max_pis:
+            raise ValueError(
+                f"network has {len(network.pis)} PIs; "
+                f"don't-care computation is capped at {max_pis}"
+            )
+        self.network = network
+        pis = sorted(network.pis)
+        # Layout: PI variables first, then one variable per possible
+        # fanin (allocated lazily per query via composition instead —
+        # we keep it simple: a dedicated manager per query space).
+        self._pis = pis
+        self._pi_index = {name: i for i, name in enumerate(pis)}
+        self._manager = BddManager(len(pis))
+        self._global = _node_global_bdds(
+            network, self._manager, self._pi_index
+        )
+
+    # ------------------------------------------------------------------
+    def satisfiability_dc(self, name: str) -> Cover:
+        """SDC cover of node *name* over its fanin variables.
+
+        A fanin minterm ``m`` is a don't care iff no PI assignment
+        produces exactly that combination of fanin values.
+        """
+        node = self.network.nodes[name]
+        if node.cover is None:
+            raise ValueError("primary inputs have no don't cares")
+        fanins = node.fanins
+        manager = self._manager
+        reachable_minterms: List[int] = []
+        for m in range(1 << len(fanins)):
+            condition = BDD_ONE
+            for i, fanin in enumerate(fanins):
+                g = self._global[fanin]
+                if not (m >> i) & 1:
+                    g = manager.not_(g)
+                condition = manager.and_(condition, g)
+                if condition == BDD_ZERO:
+                    break
+            if condition != BDD_ZERO:
+                reachable_minterms.append(m)
+        unreachable = [
+            m
+            for m in range(1 << len(fanins))
+            if m not in set(reachable_minterms)
+        ]
+        return Cover.from_minterms(unreachable, len(fanins))
+
+    # ------------------------------------------------------------------
+    def observability_dc(self, name: str) -> Cover:
+        """ODC cover of node *name* over its fanin variables.
+
+        A fanin minterm is observability-don't-care iff, for every PI
+        assignment producing it, forcing the node to 0 or to 1 yields
+        identical primary outputs.
+        """
+        node = self.network.nodes[name]
+        if node.cover is None:
+            raise ValueError("primary inputs have no don't cares")
+        manager = self._manager
+
+        # Sensitivity: OR over POs of (PO with n=1) XOR (PO with n=0),
+        # computed by re-evaluating the downstream cone with the node
+        # replaced by a constant.
+        outputs_high = self._outputs_with_node_forced(name, True)
+        outputs_low = self._outputs_with_node_forced(name, False)
+        sensitive = BDD_ZERO
+        for po in self.network.pos:
+            sensitive = manager.or_(
+                sensitive,
+                manager.xor(outputs_high[po], outputs_low[po]),
+            )
+        insensitive = manager.not_(sensitive)
+
+        fanins = node.fanins
+        odc_minterms = []
+        for m in range(1 << len(fanins)):
+            condition = BDD_ONE
+            for i, fanin in enumerate(fanins):
+                g = self._global[fanin]
+                if not (m >> i) & 1:
+                    g = manager.not_(g)
+                condition = manager.and_(condition, g)
+                if condition == BDD_ZERO:
+                    break
+            if condition == BDD_ZERO:
+                continue  # unreachable: belongs to the SDC set instead
+            if manager.implies(condition, insensitive):
+                odc_minterms.append(m)
+        return Cover.from_minterms(odc_minterms, len(fanins))
+
+    def _outputs_with_node_forced(
+        self, name: str, value: bool
+    ) -> Dict[str, int]:
+        manager = self._manager
+        forced: Dict[str, int] = dict(self._global)
+        forced[name] = BDD_ONE if value else BDD_ZERO
+        for other in self.network.topo_order():
+            node = self.network.nodes[other]
+            if node.is_pi or other == name:
+                continue
+            if name not in self.network.transitive_fanin(other):
+                continue
+            fanin_bdds = [forced[f] for f in node.fanins]
+            acc = BDD_ZERO
+            for cube in node.cover.cubes:
+                term = BDD_ONE
+                for var, phase in cube.literals():
+                    operand = fanin_bdds[var]
+                    if not phase:
+                        operand = manager.not_(operand)
+                    term = manager.and_(term, operand)
+                    if term == BDD_ZERO:
+                        break
+                acc = manager.or_(acc, term)
+            forced[other] = acc
+        return {po: forced[po] for po in self.network.pos}
+
+    # ------------------------------------------------------------------
+    def local_dc(self, name: str) -> Cover:
+        """Full local don't-care set: SDC + ODC."""
+        sdc = self.satisfiability_dc(name)
+        odc = self.observability_dc(name)
+        return sdc.union(odc).single_cube_containment()
+
+
+def full_simplify(
+    network: Network, max_fanins: int = 10, max_pis: int = 24
+) -> int:
+    """SIS-style ``full_simplify``: espresso each node against its
+    complete local don't-care set.  Returns nodes improved."""
+    if len(network.pis) > max_pis:
+        return 0
+    improved = 0
+    for name in [n.name for n in network.internal_nodes()]:
+        node = network.nodes.get(name)
+        if node is None or node.cover is None or node.is_constant():
+            continue
+        if len(node.fanins) > max_fanins:
+            continue
+        computer = DontCareComputer(network, max_pis=max_pis)
+        dc = computer.local_dc(name)
+        minimized = espresso(node.cover, dc)
+        before = (node.cover.num_cubes(), node.cover.num_literals())
+        after = (minimized.num_cubes(), minimized.num_literals())
+        if after < before:
+            node.set_function(list(node.fanins), minimized)
+            node.prune_unused_fanins()
+            improved += 1
+    network.sweep_dangling()
+    return improved

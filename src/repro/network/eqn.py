@@ -1,0 +1,213 @@
+"""SIS-style equation (.eqn) reader and writer.
+
+The equation format prints each node as a Boolean expression —
+naturally in *factored form*, which is also the paper's metric — e.g.::
+
+    INORDER = a b c d;
+    OUTORDER = f g;
+    g = b + c;
+    f = a * (g + !d) + !a * d * !g;
+
+Supported operators: ``*`` / juxtaposition (AND), ``+`` (OR), ``!`` or
+a trailing ``'`` (NOT), parentheses, and the constants ``0``/``1``.
+The reader builds each node's SOP cover by expanding the expression
+(fine at node granularity); the writer emits the factored form.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import List, TextIO, Tuple, Union
+
+from repro.twolevel.cover import Cover
+from repro.twolevel.complement import complement
+from repro.network.factor import factored_str
+from repro.network.network import Network
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9\.\[\]]*)|(?P<op>[()!*+01;=])|(?P<post>'))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ValueError(
+                    f"cannot tokenize equation at {text[pos:pos + 20]!r}"
+                )
+            break
+        pos = match.end()
+        tokens.append(match.group(0).strip())
+    return [t for t in tokens if t]
+
+
+class _Parser:
+    """Recursive-descent parser producing covers over a name list.
+
+    Grammar:  expr := term ('+' term)* ;
+              term := factor (('*' | juxtaposition) factor)* ;
+              factor := '!' factor | atom "'"* ;
+              atom := name | '0' | '1' | '(' expr ')'
+    """
+
+    def __init__(self, tokens: List[str], names: List[str]):
+        self.tokens = tokens
+        self.position = 0
+        self.names = names
+        self.index = {name: i for i, name in enumerate(names)}
+
+    def peek(self) -> Union[str, None]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ValueError("unexpected end of equation")
+        self.position += 1
+        return token
+
+    def parse(self) -> Cover:
+        cover = self.expr()
+        if self.peek() is not None:
+            raise ValueError(f"trailing tokens: {self.tokens[self.position:]}")
+        return cover
+
+    def expr(self) -> Cover:
+        cover = self.term()
+        while self.peek() == "+":
+            self.take()
+            cover = cover.union(self.term()).single_cube_containment()
+        return cover
+
+    def term(self) -> Cover:
+        cover = self.factor()
+        while True:
+            token = self.peek()
+            if token == "*":
+                self.take()
+                cover = cover.intersect(self.factor())
+            elif token is not None and token not in ("+", ")", ";", "="):
+                # Juxtaposition: ab means a AND b.
+                cover = cover.intersect(self.factor())
+            else:
+                break
+            cover = cover.single_cube_containment()
+        return cover
+
+    def factor(self) -> Cover:
+        token = self.peek()
+        if token == "!":
+            self.take()
+            return complement(self.factor())
+        cover = self.atom()
+        while self.peek() == "'":
+            self.take()
+            cover = complement(cover)
+        return cover
+
+    def atom(self) -> Cover:
+        token = self.take()
+        n = len(self.names)
+        if token == "(":
+            cover = self.expr()
+            closing = self.take()
+            if closing != ")":
+                raise ValueError(f"expected ')', found {closing!r}")
+            return cover
+        if token == "0":
+            return Cover.zero(n)
+        if token == "1":
+            return Cover.one(n)
+        if token in self.index:
+            return Cover.parse(self.names[self.index[token]], self.names)
+        raise ValueError(f"unknown signal {token!r} in equation")
+
+
+def parse_expression(text: str, names: List[str]) -> Cover:
+    """Parse one equation right-hand side into a cover over *names*."""
+    return _Parser(_tokenize(text), names).parse()
+
+
+def read_eqn(source: Union[str, TextIO]) -> Network:
+    """Parse an .eqn description into a network."""
+    if not isinstance(source, str):
+        source = source.read()
+    # Strip comments (# to end of line) and join statements.
+    lines = [line.split("#", 1)[0] for line in source.splitlines()]
+    statements = [
+        s.strip() for s in " ".join(lines).split(";") if s.strip()
+    ]
+    network = Network()
+    outputs: List[str] = []
+    for statement in statements:
+        if "=" not in statement:
+            raise ValueError(f"not an assignment: {statement!r}")
+        left, right = statement.split("=", 1)
+        left = left.strip()
+        if left == "INORDER":
+            for name in right.split():
+                network.add_pi(name)
+            continue
+        if left == "OUTORDER":
+            outputs.extend(right.split())
+            continue
+        names = list(network.nodes)
+        cover = parse_expression(right, names)
+        node = network.add_node(left, names, cover)
+        node.prune_unused_fanins()
+    for name in outputs:
+        network.add_po(name)
+    return network
+
+
+def write_eqn(network: Network, stream: TextIO) -> None:
+    """Write the network in equation format (factored forms)."""
+    stream.write("INORDER = " + " ".join(network.pis) + ";\n")
+    stream.write("OUTORDER = " + " ".join(network.pos) + ";\n")
+    for name in network.topo_order():
+        node = network.nodes[name]
+        if node.is_pi:
+            continue
+        text = factored_str(node.cover, node.fanins)
+        text = _to_eqn_operators(text)
+        stream.write(f"{name} = {text};\n")
+
+
+def _to_eqn_operators(text: str) -> str:
+    """Convert factored-form rendering to eqn operators.
+
+    ``a b'`` becomes ``a * !b``: postfix complements become prefix
+    ``!`` and juxtaposition becomes explicit ``*``.
+    """
+    tokens: List[str] = []
+    for raw in text.replace("(", " ( ").replace(")", " ) ").split():
+        if raw == "+" or raw in "()":
+            tokens.append(raw)
+        elif raw.endswith("'"):
+            tokens.append("!" + raw[:-1])
+        else:
+            tokens.append(raw)
+    out: List[str] = []
+    for i, token in enumerate(tokens):
+        if (
+            i > 0
+            and token not in ("+", ")")
+            and tokens[i - 1] not in ("+", "(")
+        ):
+            out.append("*")
+        out.append(token)
+    return " ".join(out)
+
+
+def to_eqn_str(network: Network) -> str:
+    """Render the network as an .eqn string."""
+    buffer = io.StringIO()
+    write_eqn(network, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,258 @@
+"""Common-divisor extraction: ``gcx`` (cubes) and ``gkx`` (kernels).
+
+Both follow SIS's greedy scheme: enumerate candidates across the whole
+network, score each by the factored-literal saving it would give if
+extracted as a new node, extract the best, substitute it everywhere,
+and repeat until no candidate has positive value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.network.algebraic import all_kernels, weak_division
+from repro.network.network import Network
+
+
+# ----------------------------------------------------------------------
+# gcx: greedy common-cube extraction
+# ----------------------------------------------------------------------
+def _node_cube_in_name_space(
+    node_fanins: List[str], cube: Cube
+) -> Tuple[Tuple[str, bool], ...]:
+    return tuple(
+        sorted((node_fanins[v], p) for v, p in cube.literals())
+    )
+
+
+def _global_cube_candidates(
+    network: Network,
+) -> Dict[Tuple[Tuple[str, bool], ...], int]:
+    """Count, for each candidate common cube (>=2 literals), how many
+    cubes of the network it divides."""
+    node_cubes: List[Tuple[Tuple[str, bool], ...]] = []
+    for node in network.internal_nodes():
+        if node.cover is None:
+            continue
+        for cube in node.cover.cubes:
+            if cube.num_literals() >= 2:
+                node_cubes.append(
+                    _node_cube_in_name_space(node.fanins, cube)
+                )
+    candidates: Dict[Tuple[Tuple[str, bool], ...], set] = {}
+    for i, a in enumerate(node_cubes):
+        set_a = set(a)
+        for j in range(i + 1, len(node_cubes)):
+            common = tuple(sorted(set_a & set(node_cubes[j])))
+            if len(common) >= 2:
+                candidates.setdefault(common, set()).update((i, j))
+    counts = {}
+    for common, members in candidates.items():
+        # Count all cubes the candidate divides, not just the seed pair.
+        count = sum(
+            1 for c in node_cubes if set(common) <= set(c)
+        )
+        counts[common] = count
+    return counts
+
+
+def _cube_value(literals: int, occurrences: int) -> int:
+    """Literal saving of extracting a cube with *literals* literals
+    used *occurrences* times: each use shrinks by (literals-1), and the
+    new node costs *literals*."""
+    return occurrences * (literals - 1) - literals
+
+
+def extract_best_cube(network: Network) -> Optional[str]:
+    """Extract the highest-value common cube as a new node.
+
+    Returns the new node's name, or ``None`` when no candidate saves
+    literals.
+    """
+    candidates = _global_cube_candidates(network)
+    best = None
+    for common, count in candidates.items():
+        value = _cube_value(len(common), count)
+        if value > 0 and (
+            best is None
+            or value > best[0]
+            or (value == best[0] and common < best[1])
+        ):
+            best = (value, common)
+    if best is None:
+        return None
+    _, common = best
+    fanins = [name for name, _ in common]
+    cube = Cube.from_literals(
+        (i, phase) for i, (_, phase) in enumerate(common)
+    )
+    new_name = network.fresh_name("cx")
+    network.add_node(new_name, fanins, Cover(len(fanins), [cube]))
+    _substitute_cube_everywhere(network, new_name, dict(common))
+    return new_name
+
+
+def _substitute_cube_everywhere(
+    network: Network, new_name: str, literal_map: Dict[str, bool]
+) -> None:
+    items = sorted(literal_map.items())
+    for node in network.internal_nodes():
+        if node.name == new_name or node.cover is None:
+            continue
+        index = {f: i for i, f in enumerate(node.fanins)}
+        if any(name not in index for name, _ in items):
+            continue
+        matched = False
+        new_fanins = list(node.fanins) + [new_name]
+        y_var = len(node.fanins)
+        cubes = []
+        for cube in node.cover.cubes:
+            hit = all(
+                cube.phase(index[name]) == phase for name, phase in items
+            )
+            if hit:
+                matched = True
+                literals = [
+                    (v, p)
+                    for v, p in cube.literals()
+                    if (node.fanins[v], p) not in items
+                ] + [(y_var, True)]
+                cubes.append(Cube.from_literals(literals))
+            else:
+                cubes.append(cube)
+        if matched and new_name not in node.fanins:
+            if network.nodes[new_name].is_pi or not _creates_cycle(
+                network, node.name, new_name
+            ):
+                node.set_function(new_fanins, Cover(y_var + 1, cubes))
+                node.prune_unused_fanins()
+
+
+def _creates_cycle(network: Network, f_name: str, g_name: str) -> bool:
+    return f_name in network.transitive_fanin(g_name) or f_name == g_name
+
+
+def gcx(network: Network, max_rounds: int = 100) -> int:
+    """Greedy common-cube extraction; returns nodes created."""
+    created = 0
+    for _ in range(max_rounds):
+        if extract_best_cube(network) is None:
+            break
+        created += 1
+    return created
+
+
+# ----------------------------------------------------------------------
+# gkx: greedy kernel extraction
+# ----------------------------------------------------------------------
+def _kernel_key(
+    fanins: List[str], kernel: Cover
+) -> Tuple[Tuple[Tuple[str, bool], ...], ...]:
+    return tuple(
+        sorted(
+            _node_cube_in_name_space(fanins, cube)
+            for cube in kernel.cubes
+        )
+    )
+
+
+def _kernel_value(network: Network, key) -> Tuple[int, int]:
+    """(value, uses) of extracting kernel *key* across the network."""
+    kernel_lits = sum(len(cube) for cube in key)
+    value = -kernel_lits
+    uses = 0
+    for node in network.internal_nodes():
+        divisor = _kernel_in_node_space(node.fanins, key)
+        if divisor is None:
+            continue
+        quotient, _ = weak_division(node.cover, divisor)
+        if quotient.is_zero():
+            continue
+        uses += 1
+        # Each quotient cube replaces |kernel| cubes carrying the
+        # kernel literals with a single y literal.
+        saved = quotient.num_cubes() * kernel_lits - quotient.num_cubes()
+        value += saved
+    return value, uses
+
+
+def _kernel_in_node_space(fanins: List[str], key) -> Optional[Cover]:
+    index = {f: i for i, f in enumerate(fanins)}
+    cubes = []
+    for cube_key in key:
+        literals = []
+        for name, phase in cube_key:
+            if name not in index:
+                return None
+            literals.append((index[name], phase))
+        cubes.append(Cube.from_literals(literals))
+    return Cover(len(fanins), cubes)
+
+
+def extract_best_kernel(network: Network, max_kernels_per_node: int = 30):
+    """Extract the highest-value kernel as a new node (or ``None``)."""
+    seen = {}
+    for node in network.internal_nodes():
+        if node.cover is None or node.num_cubes() < 2:
+            continue
+        kernels = all_kernels(node.cover)[:max_kernels_per_node]
+        for kernel, _cokernel in kernels:
+            if kernel.num_cubes() < 2:
+                continue
+            key = _kernel_key(node.fanins, kernel)
+            if key not in seen:
+                seen[key] = None
+    best = None
+    for key in seen:
+        value, uses = _kernel_value(network, key)
+        if uses >= 1 and value > 0:
+            if best is None or value > best[0] or (
+                value == best[0] and key < best[1]
+            ):
+                best = (value, key)
+    if best is None:
+        return None
+    _, key = best
+    names = sorted({name for cube_key in key for name, _ in cube_key})
+    index = {name: i for i, name in enumerate(names)}
+    cubes = [
+        Cube.from_literals((index[name], phase) for name, phase in cube_key)
+        for cube_key in key
+    ]
+    new_name = network.fresh_name("kx")
+    network.add_node(new_name, names, Cover(len(names), cubes))
+    _substitute_kernel_everywhere(network, new_name, key)
+    return new_name
+
+
+def _substitute_kernel_everywhere(network: Network, new_name: str, key) -> None:
+    from repro.network.resub import _apply_substitution
+
+    for node in list(network.internal_nodes()):
+        if node.name == new_name or node.cover is None:
+            continue
+        if new_name in node.fanins:
+            continue
+        if _creates_cycle(network, node.name, new_name):
+            continue
+        divisor = _kernel_in_node_space(node.fanins, key)
+        if divisor is None:
+            continue
+        quotient, remainder = weak_division(node.cover, divisor)
+        if quotient.is_zero():
+            continue
+        _apply_substitution(
+            network, node.name, new_name, False, quotient, remainder
+        )
+
+
+def gkx(network: Network, max_rounds: int = 100) -> int:
+    """Greedy kernel extraction; returns nodes created."""
+    created = 0
+    for _ in range(max_rounds):
+        if extract_best_kernel(network) is None:
+            break
+        created += 1
+    return created

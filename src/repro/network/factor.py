@@ -1,0 +1,182 @@
+"""Algebraic factoring and factored-form literal counting.
+
+The paper (like SIS) reports results as *factored-form* literal counts,
+so a factoring algorithm is part of the measurement substrate.  The
+implementation follows QUICK_FACTOR: pull out the common cube, find a
+level-0 kernel as divisor, weak-divide, and recurse on divisor,
+quotient, and remainder.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional, Sequence, Union
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.network.algebraic import (
+    common_cube,
+    make_cube_free,
+    quick_divisor,
+    weak_division,
+)
+
+
+class FactorLeaf:
+    """A literal in a factored form."""
+
+    __slots__ = ("var", "phase")
+
+    def __init__(self, var: int, phase: bool):
+        self.var = var
+        self.phase = phase
+
+    def literal_count(self) -> int:
+        return 1
+
+    def to_str(self, names: Optional[Sequence[str]] = None) -> str:
+        name = names[self.var] if names is not None else f"x{self.var}"
+        return name if self.phase else name + "'"
+
+
+class FactorNode:
+    """An AND or OR node in a factored form."""
+
+    __slots__ = ("kind", "children")
+
+    def __init__(self, kind: str, children: List["FactorTree"]):
+        if kind not in ("and", "or"):
+            raise ValueError("kind must be 'and' or 'or'")
+        self.kind = kind
+        self.children = children
+
+    def literal_count(self) -> int:
+        return sum(child.literal_count() for child in self.children)
+
+    def to_str(self, names: Optional[Sequence[str]] = None) -> str:
+        if self.kind == "and":
+            parts = []
+            for child in self.children:
+                text = child.to_str(names)
+                if isinstance(child, FactorNode) and child.kind == "or":
+                    text = f"({text})"
+                parts.append(text)
+            return " ".join(parts)
+        return " + ".join(child.to_str(names) for child in self.children)
+
+
+class FactorConst:
+    """Constant 0 or 1."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def literal_count(self) -> int:
+        return 0
+
+    def to_str(self, names: Optional[Sequence[str]] = None) -> str:
+        return "1" if self.value else "0"
+
+
+FactorTree = Union[FactorLeaf, FactorNode, FactorConst]
+
+
+def _cube_tree(cube: Cube) -> FactorTree:
+    literals = [FactorLeaf(v, p) for v, p in cube.literals()]
+    if not literals:
+        return FactorConst(True)
+    if len(literals) == 1:
+        return literals[0]
+    return FactorNode("and", literals)
+
+
+def _sum_of_cubes(cover: Cover) -> FactorTree:
+    if not cover.cubes:
+        return FactorConst(False)
+    trees = [_cube_tree(c) for c in cover.cubes]
+    if len(trees) == 1:
+        return trees[0]
+    return FactorNode("or", trees)
+
+
+def factor(cover: Cover, _depth: int = 0) -> FactorTree:
+    """QUICK_FACTOR-style factored form of a cover."""
+    if cover.is_zero():
+        return FactorConst(False)
+    if cover.is_one_cube():
+        return FactorConst(True)
+    if _depth > 100:
+        return _sum_of_cubes(cover)
+
+    cube = common_cube(cover)
+    if not cube.is_full():
+        rest = factor(make_cube_free(cover), _depth + 1)
+        parts: List[FactorTree] = [
+            FactorLeaf(v, p) for v, p in cube.literals()
+        ]
+        if isinstance(rest, FactorConst):
+            if not rest.value:
+                return FactorConst(False)
+        else:
+            if isinstance(rest, FactorNode) and rest.kind == "and":
+                parts.extend(rest.children)
+            else:
+                parts.append(rest)
+        if len(parts) == 1:
+            return parts[0]
+        return FactorNode("and", parts)
+
+    if len(cover.cubes) == 1:
+        return _cube_tree(cover.cubes[0])
+
+    divisor = quick_divisor(cover)
+    if divisor is None:
+        return _sum_of_cubes(cover)
+    quotient, remainder = weak_division(cover, divisor)
+    if quotient.is_zero() or quotient.num_cubes() == cover.num_cubes():
+        return _sum_of_cubes(cover)
+
+    product = FactorNode(
+        "and",
+        [factor(divisor, _depth + 1), factor(quotient, _depth + 1)],
+    )
+    if remainder.is_zero():
+        return product
+    rest = factor(remainder, _depth + 1)
+    if isinstance(rest, FactorNode) and rest.kind == "or":
+        return FactorNode("or", [product] + rest.children)
+    return FactorNode("or", [product, rest])
+
+
+@functools.lru_cache(maxsize=65536)
+def _factored_literals_cached(cover: Cover) -> int:
+    return factor(cover).literal_count()
+
+
+def factored_literals(cover: Cover) -> int:
+    """Factored-form literal count of a cover (0 for constants).
+
+    Memoized: covers are immutable and hashable, and the greedy
+    acceptance rule of every substitution pass recomputes this
+    constantly for unchanged nodes.
+    """
+    return _factored_literals_cached(cover)
+
+
+def network_literals(network) -> int:
+    """Factored-form literal count of a whole network.
+
+    This is the metric every experimental table in the paper reports
+    ("All literal counts are in factor form").
+    """
+    total = 0
+    for node in network.internal_nodes():
+        total += factored_literals(node.cover)
+    return total
+
+
+def factored_str(cover: Cover, names: Optional[Sequence[str]] = None) -> str:
+    """Human-readable factored form."""
+    return factor(cover).to_str(names)

@@ -1,0 +1,140 @@
+"""Algebraic resubstitution — the SIS ``resub`` baseline.
+
+For every node pair ``(f, g)`` with compatible supports and no cycle
+risk, try to weak-divide ``f`` by ``g``'s cover (and optionally by its
+complement, matching SIS's ``resub -d`` behaviour of considering the
+divisor in both phases).  Accept the rewrite when the factored-form
+literal count of ``f`` drops.
+
+This is intentionally *algebraic*: it is the comparison point the
+paper's Tables II–V measure against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.twolevel.complement import complement
+from repro.network.algebraic import weak_division
+from repro.network.factor import factored_literals
+from repro.network.network import Network
+
+
+def _divisor_cover_in_f_space(
+    network: Network, f_name: str, g_name: str, negate: bool
+) -> Optional[Cover]:
+    """Express g's cover over f's fanin variables, or None if g uses a
+    variable that is not a fanin of f (algebraic division would fail)."""
+    f = network.nodes[f_name]
+    g = network.nodes[g_name]
+    if g.cover is None:
+        return None
+    fanin_index = {name: i for i, name in enumerate(f.fanins)}
+    if any(h not in fanin_index for h in g.fanins):
+        return None
+    cover = complement(g.cover) if negate else g.cover
+    var_map = [fanin_index[h] for h in g.fanins]
+    return cover.remap(var_map, len(f.fanins))
+
+
+def try_resub_pair(
+    network: Network, f_name: str, g_name: str, use_complement: bool = True
+) -> bool:
+    """Try substituting node *g* into node *f*.  Returns True if done."""
+    f = network.nodes[f_name]
+    if f.is_pi or f.cover is None or f_name == g_name:
+        return False
+    g = network.nodes[g_name]
+    if g.is_pi or g.cover is None or g.is_constant():
+        return False
+    if g_name in f.fanins:
+        return False
+    if f_name in network.transitive_fanin(g_name):
+        return False
+
+    before = factored_literals(f.cover)
+    best: Optional[Tuple[int, bool, Cover, Cover]] = None
+    phases = (False, True) if use_complement else (False,)
+    for negate in phases:
+        divisor = _divisor_cover_in_f_space(network, f_name, g_name, negate)
+        if divisor is None or divisor.is_zero():
+            continue
+        quotient, remainder = weak_division(f.cover, divisor)
+        if quotient.is_zero():
+            continue
+        cost = _substituted_cost(quotient, remainder)
+        if cost < before and (best is None or cost < best[0]):
+            best = (cost, negate, quotient, remainder)
+    if best is None:
+        return False
+
+    _, negate, quotient, remainder = best
+    _apply_substitution(network, f_name, g_name, negate, quotient, remainder)
+    return True
+
+
+def _substituted_cost(quotient: Cover, remainder: Cover) -> int:
+    """Factored literals of ``y·Q + R`` with ``y`` the new input."""
+    # One literal for y per quotient use after factoring: Q is factored
+    # once and multiplied by y, so the cost is 1 + lits(Q) + lits(R)
+    # unless Q is the constant 1 (then just 1 + lits(R)).
+    q_lits = factored_literals(quotient)
+    r_lits = factored_literals(remainder)
+    if quotient.is_one_cube():
+        return 1 + r_lits
+    return 1 + q_lits + r_lits
+
+
+def _apply_substitution(
+    network: Network,
+    f_name: str,
+    g_name: str,
+    negate: bool,
+    quotient: Cover,
+    remainder: Cover,
+) -> None:
+    f = network.nodes[f_name]
+    new_fanins = list(f.fanins) + [g_name]
+    n = len(new_fanins)
+    y = Cube.literal(n - 1, not negate)
+    cubes: List[Cube] = []
+    for q in quotient.cubes:
+        merged = q.intersect(y)
+        assert merged is not None  # y is a fresh variable
+        cubes.append(merged)
+    cubes.extend(remainder.cubes)
+    cover = Cover(n, cubes).single_cube_containment()
+    f.set_function(new_fanins, cover)
+    f.prune_unused_fanins()
+
+
+def resub(
+    network: Network,
+    use_complement: bool = True,
+    max_passes: int = 4,
+) -> int:
+    """Algebraic resubstitution over all node pairs (SIS ``resub -d``).
+
+    Iterates to a fixpoint (bounded by *max_passes*); returns the
+    number of accepted substitutions.
+    """
+    accepted = 0
+    for _ in range(max_passes):
+        changed = False
+        names = [n.name for n in network.internal_nodes()]
+        for f_name in names:
+            if f_name not in network.nodes:
+                continue
+            for g_name in names:
+                if g_name == f_name or g_name not in network.nodes:
+                    continue
+                if f_name not in network.nodes:
+                    break
+                if try_resub_pair(network, f_name, g_name, use_complement):
+                    accepted += 1
+                    changed = True
+        if not changed:
+            break
+    return accepted

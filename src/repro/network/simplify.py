@@ -1,0 +1,85 @@
+"""Per-node two-level simplification (SIS ``simplify``).
+
+Runs espresso-lite on every internal node.  Optionally computes a
+restricted satisfiability don't-care set from fanin pairs that share
+support (the cheap subset SIS's ``simplify -m nocomp`` style flows
+exploit), which is enough to mimic the quality of the scripts the
+paper uses to prepare initial circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.twolevel.complement import complement
+from repro.twolevel.minimize import espresso
+from repro.network.network import Network
+
+
+def simplify_node(
+    network: Network, name: str, use_fanin_dc: bool = False
+) -> bool:
+    """Minimize one node's cover; returns True when it improved."""
+    node = network.nodes[name]
+    if node.is_pi or node.is_constant():
+        return False
+    dc = _fanin_dc(network, name) if use_fanin_dc else None
+    minimized = espresso(node.cover, dc)
+    before = (node.cover.num_cubes(), node.cover.num_literals())
+    after = (minimized.num_cubes(), minimized.num_literals())
+    if after < before:
+        node.set_function(list(node.fanins), minimized)
+        node.prune_unused_fanins()
+        return True
+    return False
+
+
+def simplify(network: Network, use_fanin_dc: bool = False) -> int:
+    """Simplify every internal node; returns how many improved."""
+    improved = 0
+    for name in network.topo_order():
+        if not network.nodes[name].is_pi:
+            if simplify_node(network, name, use_fanin_dc):
+                improved += 1
+    return improved
+
+
+def _fanin_dc(network: Network, name: str) -> Optional[Cover]:
+    """Satisfiability don't cares among fanins that are functions of
+    other fanins of the same node (a cheap, safe SDC subset).
+
+    If fanin ``g`` of node ``f`` computes ``G`` over variables that are
+    themselves all fanins of ``f``, then the combinations where ``g``
+    disagrees with ``G`` can never appear at ``f``'s inputs:
+    ``g XOR G(other fanins)`` is a don't care for ``f``.
+    """
+    node = network.nodes[name]
+    fanin_index = {f: i for i, f in enumerate(node.fanins)}
+    n = len(node.fanins)
+    dc_cubes: List[Cube] = []
+    for g_name in node.fanins:
+        g = network.nodes[g_name]
+        if g.is_pi or g.cover is None:
+            continue
+        if not all(h in fanin_index for h in g.fanins):
+            continue
+        var_map = [fanin_index[h] for h in g.fanins]
+        g_cover = g.cover.remap(var_map, n)
+        g_not = complement(g.cover).remap(var_map, n)
+        g_var = fanin_index[g_name]
+        g_lit = Cube.literal(g_var, True)
+        g_nlit = Cube.literal(g_var, False)
+        # g=0 while G=1, and g=1 while G=0, are both unreachable.
+        for cube in g_cover.cubes:
+            merged = cube.intersect(g_nlit)
+            if merged is not None:
+                dc_cubes.append(merged)
+        for cube in g_not.cubes:
+            merged = cube.intersect(g_lit)
+            if merged is not None:
+                dc_cubes.append(merged)
+    if not dc_cubes:
+        return None
+    return Cover(n, dc_cubes).single_cube_containment()

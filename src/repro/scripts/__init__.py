@@ -1,0 +1,29 @@
+"""Experiment drivers: SIS-style scripts and the table harness."""
+
+from repro.scripts.flows import (
+    script_a,
+    script_b,
+    script_c,
+    script_algebraic,
+    run_method,
+    run_script_table,
+    run_script_algebraic_table,
+    METHODS,
+    SCRIPTS,
+)
+from repro.scripts.tables import TableRow, TableResult, format_table
+
+__all__ = [
+    "script_a",
+    "script_b",
+    "script_c",
+    "script_algebraic",
+    "run_method",
+    "run_script_table",
+    "run_script_algebraic_table",
+    "METHODS",
+    "SCRIPTS",
+    "TableRow",
+    "TableResult",
+    "format_table",
+]

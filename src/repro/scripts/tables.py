@@ -1,0 +1,101 @@
+"""Row/series containers and text rendering for the experiment tables.
+
+The layout mirrors the paper's Tables II–V: one row per circuit with
+the initial literal count and (lit., cpu) sub-columns per method, plus
+``total`` and ``impr.`` summary rows (percentage improvement of each
+method's total over the initial total).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+
+@dataclasses.dataclass
+class TableRow:
+    circuit: str
+    initial: int
+    literals: Dict[str, int] = dataclasses.field(default_factory=dict)
+    cpu: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class TableResult:
+    title: str
+    methods: List[str]
+    rows: List[TableRow] = dataclasses.field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def total_initial(self) -> int:
+        return sum(row.initial for row in self.rows)
+
+    def total_literals(self, method: str) -> int:
+        return sum(row.literals[method] for row in self.rows)
+
+    def total_cpu(self, method: str) -> float:
+        return sum(row.cpu[method] for row in self.rows)
+
+    def improvement(self, method: str) -> float:
+        """Percentage literal reduction relative to the initial total."""
+        initial = self.total_initial()
+        if initial == 0:
+            return 0.0
+        return 100.0 * (initial - self.total_literals(method)) / initial
+
+    def winner(self) -> str:
+        return min(self.methods, key=self.total_literals)
+
+
+_METHOD_LABELS = {
+    "sis": "sis resub",
+    "basic": "basic",
+    "ext": "ext.",
+    "ext_gdc": "ext. GDC",
+}
+
+
+def format_table(result: TableResult) -> str:
+    """Render the table as aligned monospaced text."""
+    methods = result.methods
+    header = ["circuit", "init."]
+    for method in methods:
+        label = _METHOD_LABELS.get(method, method)
+        header.extend([f"{label} lit.", "cpu"])
+
+    body: List[List[str]] = []
+    for row in result.rows:
+        line = [row.circuit, str(row.initial)]
+        for method in methods:
+            line.append(str(row.literals[method]))
+            line.append(f"{row.cpu[method]:.2f}")
+        body.append(line)
+
+    totals = ["total", str(result.total_initial())]
+    imprs = ["impr.", ""]
+    for method in methods:
+        totals.append(str(result.total_literals(method)))
+        totals.append(f"{result.total_cpu(method):.2f}")
+        imprs.append(f"{result.improvement(method):.1f}%")
+        imprs.append("")
+    body.append(totals)
+    body.append(imprs)
+
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body))
+        for i in range(len(header))
+    ]
+
+    def render(line: List[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+            for i, cell in enumerate(line)
+        )
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [f"== {result.title} ==", render(header), rule]
+    lines.extend(render(line) for line in body[:-2])
+    lines.append(rule)
+    lines.append(render(body[-2]))
+    lines.append(render(body[-1]))
+    return "\n".join(lines)

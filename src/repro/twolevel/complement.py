@@ -1,0 +1,105 @@
+"""Cover complementation via the unate recursive paradigm.
+
+``complement(F)`` returns a cover of NOT F.  The recursion splits on
+the most binate variable and merges the two half-space complements;
+unate covers get the cheaper sharp-based treatment, and tiny supports
+fall back to a truth table.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+
+_TRUTH_TABLE_LIMIT = 10
+
+
+def complement_cube(cube: Cube, num_vars: int) -> Cover:
+    """De Morgan complement of a single cube (one cube per literal)."""
+    cubes = [Cube.literal(var, not phase) for var, phase in cube.literals()]
+    return Cover(num_vars, cubes)
+
+
+@functools.lru_cache(maxsize=8192)
+def _complement_cached(cover: Cover) -> Cover:
+    return _complement(cover).single_cube_containment()
+
+
+def complement(cover: Cover) -> Cover:
+    """A cover of the complement of *cover* (same variable space).
+
+    Memoized: covers are immutable and the division/substitution
+    machinery re-complements the same node covers constantly.
+    """
+    return _complement_cached(cover)
+
+
+def _complement(cover: Cover) -> Cover:
+    if cover.is_zero():
+        return Cover.one(cover.num_vars)
+    if cover.is_one_cube():
+        return Cover.zero(cover.num_vars)
+    if len(cover.cubes) == 1:
+        return complement_cube(cover.cubes[0], cover.num_vars)
+
+    support = cover.support_vars()
+    if len(support) <= _TRUTH_TABLE_LIMIT:
+        return _truth_table_complement(cover, support)
+
+    var = cover.most_binate_var()
+    assert var is not None  # constants were handled above
+    pos_comp = _complement(cover.cofactor(var, True))
+    neg_comp = _complement(cover.cofactor(var, False))
+    cubes: List[Cube] = []
+    pos_lit = Cube.literal(var, True)
+    neg_lit = Cube.literal(var, False)
+    for cube in pos_comp.cubes:
+        merged = cube.intersect(pos_lit)
+        if merged is not None:
+            cubes.append(merged)
+    for cube in neg_comp.cubes:
+        merged = cube.intersect(neg_lit)
+        if merged is not None:
+            cubes.append(merged)
+    return Cover(cover.num_vars, cubes)
+
+
+def _truth_table_complement(cover: Cover, support) -> Cover:
+    """Exact complement over a small support, then a greedy cube cover."""
+    index = {var: i for i, var in enumerate(support)}
+    n = len(support)
+    mask = 0
+    for cube in cover.cubes:
+        compact = Cube.from_literals(
+            [(index[v], phase) for v, phase in cube.literals()]
+        )
+        mask |= compact.truth_mask(n)
+    full = (1 << (1 << n)) - 1
+    full_off = full & ~mask
+    off = full_off
+    cubes: List[Cube] = []
+    while off:
+        minterm = (off & -off).bit_length() - 1
+        cube = _expand_minterm(minterm, full_off, n)
+        cubes.append(_lift(cube, support))
+        off &= ~cube.truth_mask(n)
+    return Cover(cover.num_vars, cubes)
+
+
+def _expand_minterm(minterm: int, off: int, n: int) -> Cube:
+    """Grow a minterm into a prime of the off-set mask (greedy)."""
+    cube = Cube.from_minterm(minterm, n)
+    for var in range(n):
+        candidate = cube.without_var(var)
+        if candidate.truth_mask(n) & ~off == 0:
+            cube = candidate
+    return cube
+
+
+def _lift(cube: Cube, support) -> Cube:
+    return Cube.from_literals(
+        [(support[v], phase) for v, phase in cube.literals()]
+    )

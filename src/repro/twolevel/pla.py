@@ -1,0 +1,180 @@
+"""Espresso PLA format reader and writer for two-level functions.
+
+Supports the single-output and multi-output subset used by classical
+two-level benchmarks: ``.i``/``.o`` declarations, optional ``.ilb`` /
+``.ob`` name lists, ``.p`` (ignored on input), cube rows with input
+part over ``0/1/-`` and output part over ``0/1`` (``~`` and ``4`` are
+not supported), and ``.e``/``.end``.
+
+A multi-output PLA is returned as one :class:`~repro.twolevel.cover.
+Cover` per output, all over the same input variables.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+
+
+class Pla:
+    """A parsed PLA: input/output names and one cover per output."""
+
+    def __init__(
+        self,
+        input_names: List[str],
+        output_names: List[str],
+        covers: Dict[str, Cover],
+    ):
+        self.input_names = input_names
+        self.output_names = output_names
+        self.covers = covers
+
+    def cover(self, output: Optional[str] = None) -> Cover:
+        """The cover of *output* (default: the only/first output)."""
+        if output is None:
+            output = self.output_names[0]
+        return self.covers[output]
+
+    def __repr__(self) -> str:
+        return (
+            f"Pla(inputs={len(self.input_names)}, "
+            f"outputs={len(self.output_names)})"
+        )
+
+
+def read_pla(source: Union[str, TextIO]) -> Pla:
+    """Parse PLA text (string or file object)."""
+    if not isinstance(source, str):
+        source = source.read()
+
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    input_names: Optional[List[str]] = None
+    output_names: Optional[List[str]] = None
+    rows: List[Tuple[str, str]] = []
+
+    for raw in source.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            tokens = line.split()
+            keyword = tokens[0]
+            if keyword == ".i":
+                num_inputs = int(tokens[1])
+            elif keyword == ".o":
+                num_outputs = int(tokens[1])
+            elif keyword == ".ilb":
+                input_names = tokens[1:]
+            elif keyword == ".ob":
+                output_names = tokens[1:]
+            elif keyword == ".p":
+                continue  # product count: informational
+            elif keyword in (".e", ".end"):
+                break
+            elif keyword == ".type":
+                if tokens[1] != "f":
+                    raise ValueError(
+                        f"only .type f PLAs are supported, not {tokens[1]}"
+                    )
+            else:
+                raise ValueError(f"unsupported PLA directive {keyword!r}")
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            rows.append((parts[0], parts[1]))
+        elif len(parts) == 1 and num_outputs == 0:
+            rows.append((parts[0], ""))
+        else:
+            # Allow "01-1 1" style with whitespace inside collapsed.
+            raise ValueError(f"cannot parse PLA row {line!r}")
+
+    if num_inputs is None or num_outputs is None:
+        raise ValueError("PLA must declare .i and .o")
+    if input_names is None:
+        input_names = [f"x{i}" for i in range(num_inputs)]
+    if output_names is None:
+        output_names = [f"y{i}" for i in range(num_outputs)]
+    if len(input_names) != num_inputs or len(output_names) != num_outputs:
+        raise ValueError("name list lengths disagree with .i/.o")
+
+    cubes_per_output: Dict[str, List[Cube]] = {
+        name: [] for name in output_names
+    }
+    for input_part, output_part in rows:
+        if len(input_part) != num_inputs:
+            raise ValueError(
+                f"input part {input_part!r} has wrong width"
+            )
+        if len(output_part) != num_outputs:
+            raise ValueError(
+                f"output part {output_part!r} has wrong width"
+            )
+        literals = []
+        for i, ch in enumerate(input_part):
+            if ch == "1":
+                literals.append((i, True))
+            elif ch == "0":
+                literals.append((i, False))
+            elif ch not in "-2":
+                raise ValueError(f"bad input character {ch!r}")
+        cube = Cube.from_literals(literals)
+        for j, ch in enumerate(output_part):
+            if ch == "1":
+                cubes_per_output[output_names[j]].append(cube)
+            elif ch not in "0~":
+                raise ValueError(f"bad output character {ch!r}")
+
+    covers = {
+        name: Cover(num_inputs, cubes)
+        for name, cubes in cubes_per_output.items()
+    }
+    return Pla(input_names, output_names, covers)
+
+
+def write_pla(pla: Pla, stream: TextIO) -> None:
+    """Write a PLA; shared cubes are merged into multi-output rows."""
+    num_inputs = len(pla.input_names)
+    num_outputs = len(pla.output_names)
+    stream.write(f".i {num_inputs}\n")
+    stream.write(f".o {num_outputs}\n")
+    stream.write(".ilb " + " ".join(pla.input_names) + "\n")
+    stream.write(".ob " + " ".join(pla.output_names) + "\n")
+
+    # Group identical cubes across outputs.
+    by_cube: Dict[Cube, List[int]] = {}
+    for j, name in enumerate(pla.output_names):
+        for cube in pla.covers[name].cubes:
+            by_cube.setdefault(cube, []).append(j)
+    stream.write(f".p {len(by_cube)}\n")
+    for cube, outputs in by_cube.items():
+        row = []
+        for i in range(num_inputs):
+            phase = cube.phase(i)
+            row.append(
+                "-" if phase is None else ("1" if phase else "0")
+            )
+        out = ["0"] * num_outputs
+        for j in outputs:
+            out[j] = "1"
+        stream.write("".join(row) + " " + "".join(out) + "\n")
+    stream.write(".e\n")
+
+
+def cover_to_pla(
+    cover: Cover, names: Optional[List[str]] = None, output: str = "f"
+) -> Pla:
+    """Wrap a single cover as a one-output PLA."""
+    if names is None:
+        names = [f"x{i}" for i in range(cover.num_vars)]
+    return Pla(list(names), [output], {output: cover})
+
+
+def to_pla_str(pla: Pla) -> str:
+    """Render a PLA as text."""
+    buffer = io.StringIO()
+    write_pla(pla, buffer)
+    return buffer.getvalue()

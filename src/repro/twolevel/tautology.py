@@ -1,0 +1,98 @@
+"""Tautology and containment checks via the unate recursive paradigm.
+
+These are the workhorse semantic predicates of the two-level layer:
+
+* :func:`is_tautology` — does a cover equal the constant 1?
+* :func:`cover_contains_cube` — is a cube inside a cover?
+* :func:`cover_contains_cover` — is a whole cover inside another?
+
+The recursion follows the classical Espresso URP: split on the most
+binate variable, with unate-cover and truth-table base cases.
+"""
+
+from __future__ import annotations
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+
+# Covers whose support fits in this many variables are checked with a
+# packed truth table instead of recursion; 2**12 bits is a cheap int.
+_TRUTH_TABLE_LIMIT = 12
+
+
+def is_tautology(cover: Cover) -> bool:
+    """True iff the cover is the constant-1 function."""
+    return _tautology(cover)
+
+
+def _tautology(cover: Cover) -> bool:
+    if any(cube.is_full() for cube in cover.cubes):
+        return True
+    if not cover.cubes:
+        return False
+
+    support = cover.support_vars()
+    n = len(support)
+
+    # Fast bound: a cover cannot be a tautology with too few minterms.
+    # Each cube with k literals (within the support) covers 2^(n-k)
+    # of the 2^n support-space minterms.
+    total = 0
+    full_space = 1 << n
+    for cube in cover.cubes:
+        total += 1 << (n - cube.num_literals())
+        if total >= full_space:
+            break
+    if total < full_space:
+        return False
+
+    if n <= _TRUTH_TABLE_LIMIT:
+        return _truth_table_tautology(cover, support)
+
+    # Unate reduction: in a unate cover only the universal cube can make
+    # it a tautology, and that was checked above.
+    var = cover.most_binate_var()
+    if var is None:
+        return False
+    pos, neg = cover.var_phase_counts(var)
+    if pos == 0 or neg == 0:
+        # Unate in the splitting variable: cubes with that literal
+        # cannot help cover the opposite half-space, so drop them.
+        reduced = Cover(
+            cover.num_vars,
+            [c for c in cover.cubes if c.phase(var) is None],
+        )
+        return _tautology(reduced)
+    return _tautology(cover.cofactor(var, True)) and _tautology(
+        cover.cofactor(var, False)
+    )
+
+
+def _truth_table_tautology(cover: Cover, support) -> bool:
+    index = {var: i for i, var in enumerate(support)}
+    n = len(support)
+    full = (1 << (1 << n)) - 1
+    mask = 0
+    for cube in cover.cubes:
+        compact = Cube.from_literals(
+            [(index[v], phase) for v, phase in cube.literals()]
+        )
+        mask |= compact.truth_mask(n)
+        if mask == full:
+            return True
+    return mask == full
+
+
+def cover_contains_cube(cover: Cover, cube: Cube) -> bool:
+    """True iff every minterm of *cube* is covered by *cover*.
+
+    Classical reduction: ``cube <= cover`` iff the cofactor of the
+    cover against the cube is a tautology.
+    """
+    return _tautology(cover.cofactor_cube(cube))
+
+
+def cover_contains_cover(cover: Cover, other: Cover) -> bool:
+    """True iff ``other <= cover`` semantically."""
+    cover._check_compatible(other)
+    return all(cover_contains_cube(cover, cube) for cube in other.cubes)

@@ -1,0 +1,128 @@
+"""Tests for complete miter-based test generation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg.dalg import (
+    build_miter,
+    generate_test,
+    miter_output,
+    prove_redundant,
+)
+from repro.atpg.fault import StuckAtFault, all_wire_faults
+from repro.atpg.redundancy import wire_is_redundant
+from repro.atpg.simulate import faulty_evaluate, find_test_exhaustive
+from repro.circuit.circuit import Circuit
+from tests.atpg.test_simulate import random_circuit
+
+
+def demo() -> Circuit:
+    c = Circuit()
+    for pi in "abc":
+        c.add_pi(pi)
+    c.add_and("g1", [("a", True), ("b", True)])
+    c.add_and("g2", [("a", True), ("b", False), ("c", True)])
+    c.add_or("out", [("g1", True), ("g2", True)])
+    return c
+
+
+class TestMiter:
+    def test_miter_output_semantics(self):
+        c = demo()
+        fault = StuckAtFault("g1", 0, True)
+        miter = build_miter(c, fault, {"out"})
+        import itertools
+
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip("abc", bits))
+            good = c.evaluate(assignment)["out"]
+            bad = faulty_evaluate(c, fault, assignment)["out"]
+            diff = miter.evaluate(assignment)[miter_output()]
+            assert diff == (good != bad), assignment
+
+    def test_shared_pis(self):
+        miter = build_miter(demo(), StuckAtFault("g1", 0, True), {"out"})
+        assert sorted(miter.pis()) == ["a", "b", "c"]
+
+
+class TestGenerateTest:
+    def test_finds_test(self):
+        c = demo()
+        fault = StuckAtFault("g1", 0, True)
+        result = generate_test(c, fault, {"out"})
+        assert result.complete
+        assert result.test is not None
+        good = c.evaluate(result.test)["out"]
+        bad = faulty_evaluate(c, fault, result.test)["out"]
+        assert good != bad
+
+    def test_proves_untestable(self):
+        c = demo()
+        fault = StuckAtFault("g2", 1, True)  # redundant b' literal
+        result = generate_test(c, fault, {"out"})
+        assert result.complete
+        assert result.test is None
+        assert prove_redundant(c, fault, {"out"}) is True
+
+    def test_budget_reported(self):
+        c = demo()
+        fault = StuckAtFault("g2", 1, True)
+        result = generate_test(c, fault, {"out"}, max_backtracks=0)
+        # Either proved quickly or reported as incomplete — never a
+        # silent wrong answer.
+        if result.test is None and not result.complete:
+            assert prove_redundant(c, fault, {"out"}, 0) is None
+
+
+class TestCrossValidation:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_exhaustive(self, seed):
+        circuit = random_circuit(seed)
+        fanouts = circuit.fanouts()
+        observables = {
+            name for name, outs in fanouts.items() if not outs
+        }
+        for fault in all_wire_faults(circuit):
+            exact = find_test_exhaustive(circuit, fault, observables)
+            result = generate_test(circuit, fault, observables)
+            assert result.complete
+            assert (result.test is None) == (exact is None), (
+                seed,
+                fault,
+            )
+            if result.test is not None:
+                good = circuit.evaluate(result.test)
+                bad = faulty_evaluate(circuit, fault, result.test)
+                assert any(good[o] != bad[o] for o in observables)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_implications_never_contradict_atpg(self, seed):
+        """One-sided check: implication 'redundant' => ATPG agrees."""
+        circuit = random_circuit(seed)
+        fanouts = circuit.fanouts()
+        observables = {
+            name for name, outs in fanouts.items() if not outs
+        }
+        for fault in all_wire_faults(circuit):
+            if wire_is_redundant(circuit, fault, observables, 1):
+                assert prove_redundant(circuit, fault, observables) is True
+
+
+class TestAtpgResultSemantics:
+    def test_backtracks_counted(self):
+        from repro.atpg.dalg import generate_test
+
+        c = demo()
+        fault = StuckAtFault("g2", 1, True)  # untestable
+        result = generate_test(c, fault, {"out"})
+        assert result.backtracks >= 0
+        assert result.complete
+
+    def test_redundancy_answer_is_three_valued(self):
+        c = demo()
+        testable = StuckAtFault("g1", 0, True)
+        untestable = StuckAtFault("g2", 1, True)
+        assert prove_redundant(c, testable, {"out"}) is False
+        assert prove_redundant(c, untestable, {"out"}) is True

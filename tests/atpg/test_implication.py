@@ -1,0 +1,187 @@
+"""Tests for the three-valued implication engine."""
+
+import pytest
+
+from repro.atpg.implication import Conflict, ImplicationEngine
+from repro.circuit.circuit import Circuit
+from repro.circuit.gate import Gate, GateKind
+
+
+def and_or_circuit() -> Circuit:
+    c = Circuit()
+    for pi in "abcd":
+        c.add_pi(pi)
+    c.add_and("g", [("a", True), ("b", True)])
+    c.add_or("f", [("g", True), ("c", True)])
+    c.add_and("h", [("g", True), ("d", False)])
+    return c
+
+
+class TestForward:
+    def test_and_controlled_by_zero(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("a", False)])
+        assert e.value("g") is False
+
+    def test_and_all_ones(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("a", True), ("b", True)])
+        assert e.value("g") is True
+
+    def test_or_controlled_by_one(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("c", True)])
+        assert e.value("f") is True
+
+    def test_or_all_zero(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("a", False), ("c", False)])
+        assert e.value("f") is False
+
+    def test_edge_phase_inversion(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("a", True), ("b", True), ("d", True)])
+        assert e.value("h") is False  # d' literal is 0
+
+    def test_constants_propagate(self):
+        c = Circuit()
+        c.add_gate(Gate("one", GateKind.CONST1))
+        c.add_and("f", [("one", True)])
+        e = ImplicationEngine(c)
+        e.propagate()
+        # Constants only fire once enqueued via assign/processing.
+        assert e.run([]) is True
+
+
+class TestBackward:
+    def test_and_output_one_forces_inputs(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("g", True)])
+        assert e.value("a") is True and e.value("b") is True
+
+    def test_or_output_zero_forces_inputs(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("f", False)])
+        assert e.value("c") is False and e.value("g") is False
+
+    def test_last_unknown_input_forced(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("g", False), ("a", True)])
+        assert e.value("b") is False
+
+    def test_chained_implications(self):
+        e = ImplicationEngine(and_or_circuit())
+        # f=0 forces g=0 and c=0; with a=1 that forces b=0.
+        assert e.run([("f", False), ("a", True)])
+        assert e.value("b") is False
+
+    def test_phase_aware_backward(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("h", True)])
+        assert e.value("d") is False  # h needs d'=1
+
+
+class TestConflicts:
+    def test_direct_conflict(self):
+        e = ImplicationEngine(and_or_circuit())
+        e.assign("a", True)
+        with pytest.raises(Conflict):
+            e.assign("a", False)
+
+    def test_run_returns_false_on_conflict(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert not e.run([("g", True), ("a", False)])
+
+    def test_all_noncontrolling_but_controlled_output(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert not e.run([("a", True), ("b", True), ("g", False)])
+
+    def test_reassign_same_value_is_fine(self):
+        e = ImplicationEngine(and_or_circuit())
+        assert e.run([("a", True), ("a", True)])
+
+
+class TestForkAndJustification:
+    def test_fork_is_independent(self):
+        e = ImplicationEngine(and_or_circuit())
+        e.run([("a", True)])
+        fork = e.fork()
+        fork.run([("b", True)])
+        assert e.value("b") is None
+        assert fork.value("g") is True
+
+    def test_unjustified_gate_detection(self):
+        e = ImplicationEngine(and_or_circuit())
+        e.run([("f", True)])
+        names = {g.name for g in e.unjustified_gates()}
+        assert "f" in names
+
+    def test_justified_gate_not_listed(self):
+        e = ImplicationEngine(and_or_circuit())
+        e.run([("f", True), ("c", True)])
+        names = {g.name for g in e.unjustified_gates()}
+        assert "f" not in names
+
+
+class TestSoundnessProperty:
+    """Implied values must hold in every consistent completion."""
+
+    def _consistent_completions(self, circuit, assignments):
+        import itertools
+
+        pis = sorted(circuit.pis())
+        for bits in itertools.product([False, True], repeat=len(pis)):
+            assignment = dict(zip(pis, bits))
+            values = circuit.evaluate(assignment)
+            if all(values[s] == v for s, v in assignments):
+                yield values
+
+    def test_implications_are_sound(self):
+        import random
+
+        from tests.atpg.test_simulate import random_circuit
+
+        rng = random.Random(99)
+        checked = 0
+        for seed in range(120):
+            circuit = random_circuit(seed)
+            signals = list(circuit.gates)
+            picks = rng.sample(signals, min(2, len(signals)))
+            assignments = [(s, rng.random() < 0.5) for s in picks]
+            engine = ImplicationEngine(circuit)
+            if not engine.run(assignments):
+                # Conflict: there must be no consistent completion
+                # (for output-signal assignments this is exact).
+                continue
+            completions = list(
+                self._consistent_completions(circuit, assignments)
+            )
+            for values in completions:
+                for signal, implied in engine.values.items():
+                    assert values[signal] == implied, (
+                        seed,
+                        assignments,
+                        signal,
+                    )
+                checked += 1
+        assert checked > 50  # the test must actually exercise cases
+
+    def test_conflict_implies_unsatisfiable(self):
+        from tests.atpg.test_simulate import random_circuit
+
+        import random
+
+        rng = random.Random(5)
+        for seed in range(120):
+            circuit = random_circuit(seed)
+            signals = list(circuit.gates)
+            picks = rng.sample(signals, min(3, len(signals)))
+            assignments = [(s, rng.random() < 0.5) for s in picks]
+            engine = ImplicationEngine(circuit)
+            if engine.run(assignments):
+                continue
+            # The engine reported a conflict: verify exhaustively that
+            # no PI assignment satisfies all the requested values.
+            assert not list(
+                self._consistent_completions(circuit, assignments)
+            ), (seed, assignments)

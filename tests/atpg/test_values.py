@@ -1,0 +1,39 @@
+"""Tests for the ternary logic helpers."""
+
+from repro.atpg.values import UNKNOWN, t_and, t_not, t_or, to_char
+
+
+class TestTernaryTables:
+    def test_and_false_dominates(self):
+        assert t_and(False, UNKNOWN) is False
+        assert t_and(UNKNOWN, False) is False
+        assert t_and(False, True) is False
+
+    def test_and_true_needs_both(self):
+        assert t_and(True, True) is True
+        assert t_and(True, UNKNOWN) is UNKNOWN
+
+    def test_or_true_dominates(self):
+        assert t_or(True, UNKNOWN) is True
+        assert t_or(UNKNOWN, True) is True
+        assert t_or(False, True) is True
+
+    def test_or_false_needs_both(self):
+        assert t_or(False, False) is False
+        assert t_or(False, UNKNOWN) is UNKNOWN
+
+    def test_not(self):
+        assert t_not(True) is False
+        assert t_not(False) is True
+        assert t_not(UNKNOWN) is UNKNOWN
+
+    def test_to_char(self):
+        assert to_char(True) == "1"
+        assert to_char(False) == "0"
+        assert to_char(UNKNOWN) == "x"
+
+    def test_de_morgan_over_ternary(self):
+        values = (True, False, UNKNOWN)
+        for a in values:
+            for b in values:
+                assert t_not(t_and(a, b)) == t_or(t_not(a), t_not(b))

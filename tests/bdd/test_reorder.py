@@ -1,0 +1,114 @@
+"""Tests for BDD variable reordering."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BddManager
+from repro.bdd.reorder import (
+    rebuild_with_order,
+    reorder,
+    shared_size,
+    sift_order,
+    translate_assignment,
+)
+from repro.twolevel.cover import Cover
+from tests.conftest import cover_st
+
+
+def interleaving_adversary(pairs: int):
+    """f = x0·x_p + x1·x_(p+1) + … — linear under the blocked order
+    (x0, x_p, x1, x_p+1, …), exponential under the index order."""
+    n = 2 * pairs
+    manager = BddManager(n)
+    f = 0
+    for i in range(pairs):
+        term = manager.and_(manager.var(i), manager.var(pairs + i))
+        f = manager.or_(f, term)
+    return manager, f, n
+
+
+class TestRebuild:
+    def test_identity_order_preserves_semantics(self):
+        manager = BddManager(4)
+        f = manager.from_cover(Cover.parse("ab + c'd", list("abcd")))
+        rebuilt, roots = rebuild_with_order(
+            manager, {"f": f}, [0, 1, 2, 3]
+        )
+        for assignment in range(16):
+            assert rebuilt.evaluate(roots["f"], assignment) == (
+                manager.evaluate(f, assignment)
+            )
+
+    def test_permuted_order_preserves_semantics(self):
+        manager = BddManager(4)
+        f = manager.from_cover(Cover.parse("ab + c'd", list("abcd")))
+        order = [3, 1, 0, 2]
+        rebuilt, roots = rebuild_with_order(manager, {"f": f}, order)
+        for assignment in range(16):
+            translated = translate_assignment(order, assignment)
+            assert rebuilt.evaluate(roots["f"], translated) == (
+                manager.evaluate(f, assignment)
+            )
+
+    def test_rejects_non_permutation(self):
+        manager = BddManager(3)
+        with pytest.raises(ValueError):
+            rebuild_with_order(manager, {}, [0, 0, 1])
+
+    def test_shared_size_counts_distinct_nodes(self):
+        manager = BddManager(2)
+        x = manager.var(0)
+        assert shared_size(manager, [x, x]) == 1
+        assert shared_size(manager, [0, 1]) == 0
+
+
+class TestSifting:
+    def test_recovers_good_order_for_adversary(self):
+        manager, f, n = interleaving_adversary(3)
+        bad_size = shared_size(manager, [f])
+        order, good_size = sift_order(manager, {"f": f}, passes=2)
+        assert good_size < bad_size
+        # The optimal pairing order costs 2 nodes per pair.
+        assert good_size <= 2 * 3 + 1
+
+    def test_reorder_roundtrip_semantics(self):
+        manager, f, n = interleaving_adversary(2)
+        rebuilt, roots, order = reorder(manager, {"f": f})
+        for assignment in range(1 << n):
+            translated = translate_assignment(order, assignment)
+            assert rebuilt.evaluate(roots["f"], translated) == (
+                manager.evaluate(f, assignment)
+            )
+
+    def test_sift_never_worse(self):
+        manager = BddManager(4)
+        f = manager.from_cover(
+            Cover.parse("ab + a'c + bd'", list("abcd"))
+        )
+        before = shared_size(manager, [f])
+        _, after = sift_order(manager, {"f": f})
+        assert after <= before
+
+    @given(cover_st(4))
+    @settings(max_examples=25, deadline=None)
+    def test_reorder_semantics_property(self, cover):
+        manager = BddManager(4)
+        f = manager.from_cover(cover)
+        rebuilt, roots, order = reorder(manager, {"f": f})
+        for assignment in range(16):
+            translated = translate_assignment(order, assignment)
+            assert rebuilt.evaluate(roots["f"], translated) == (
+                cover.evaluate(assignment)
+            )
+
+    def test_multiple_roots_share(self):
+        manager = BddManager(4)
+        f = manager.from_cover(Cover.parse("ab", list("abcd")))
+        g = manager.from_cover(Cover.parse("ab + cd", list("abcd")))
+        rebuilt, roots, order = reorder(manager, {"f": f, "g": g})
+        assert set(roots) == {"f", "g"}
+        for assignment in range(16):
+            translated = translate_assignment(order, assignment)
+            assert rebuilt.evaluate(roots["g"], translated) == (
+                manager.evaluate(g, assignment)
+            )

@@ -1,0 +1,249 @@
+"""Functional correctness of the benchmark generators."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench import generators as g
+from repro.bench.suite import benchmark_names, benchmark_suite, build_benchmark
+from repro.network.verify import networks_equivalent
+
+
+def exhaustive(net, assignment_fn, outputs_fn, max_pis=14):
+    """Compare the network against a Python reference on all inputs."""
+    pis = net.pis
+    assert len(pis) <= max_pis
+    for bits in itertools.product([False, True], repeat=len(pis)):
+        assignment = dict(zip(pis, bits))
+        values = net.evaluate(assignment)
+        expected = outputs_fn(assignment)
+        for name, value in expected.items():
+            assert values[name] == value, (name, assignment)
+
+
+class TestAdders:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_ripple_adder_adds(self, bits):
+        net = g.ripple_adder(bits)
+
+        def reference(assignment):
+            a = sum(assignment[f"a{i}"] << i for i in range(bits))
+            b = sum(assignment[f"b{i}"] << i for i in range(bits))
+            total = a + b + assignment["cin"]
+            out = {f"s{i}": bool(total >> i & 1) for i in range(bits)}
+            out[f"c{bits}"] = bool(total >> bits & 1)
+            return out
+
+        exhaustive(net, None, reference)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_cla_matches_ripple(self, bits):
+        ripple = g.ripple_adder(bits)
+        cla = g.carry_lookahead_adder(bits)
+        pis = ripple.pis
+        for bits_values in itertools.product([False, True], repeat=len(pis)):
+            assignment = dict(zip(pis, bits_values))
+            r = ripple.evaluate(assignment)
+            c = cla.evaluate(assignment)
+            for i in range(bits):
+                assert r[f"s{i}"] == c[f"s{i}"]
+            assert r[f"c{bits}"] == c[f"c{bits}"]
+
+
+class TestComparator:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_comparator(self, bits):
+        net = g.comparator(bits)
+        eq_name, gt_name = net.pos[0], net.pos[1]
+
+        def reference(assignment):
+            a = sum(assignment[f"a{i}"] << i for i in range(bits))
+            b = sum(assignment[f"b{i}"] << i for i in range(bits))
+            return {
+                eq_name: a == b,
+                gt_name: a > b,
+                "lt": a < b,
+            }
+
+        exhaustive(net, None, reference)
+
+
+class TestControlBlocks:
+    @pytest.mark.parametrize("bits", [2, 3])
+    def test_decoder_one_hot(self, bits):
+        net = g.decoder(bits)
+
+        def reference(assignment):
+            sel = sum(assignment[f"s{i}"] << i for i in range(bits))
+            return {
+                f"o{v}": assignment["en"] and v == sel
+                for v in range(1 << bits)
+            }
+
+        exhaustive(net, None, reference)
+
+    @pytest.mark.parametrize("bits", [2, 3, 5, 8])
+    def test_parity(self, bits):
+        net = g.parity(bits)
+        po = net.pos[0]
+
+        def reference(assignment):
+            return {po: sum(assignment.values()) % 2 == 1}
+
+        exhaustive(net, None, reference)
+
+    @pytest.mark.parametrize("select_bits", [1, 2])
+    def test_mux(self, select_bits):
+        net = g.mux_tree(select_bits)
+        po = net.pos[0]
+
+        def reference(assignment):
+            sel = sum(
+                assignment[f"s{i}"] << i for i in range(select_bits)
+            )
+            return {po: assignment[f"d{sel}"]}
+
+        exhaustive(net, None, reference)
+
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_priority_encoder(self, bits):
+        net = g.priority_encoder(bits)
+        out_bits = max(1, (bits - 1).bit_length())
+
+        def reference(assignment):
+            asserted = [
+                i for i in range(bits) if assignment[f"x{i}"]
+            ]
+            top = max(asserted) if asserted else 0
+            out = {
+                f"e{k}": bool(asserted) and bool(top >> k & 1)
+                for k in range(out_bits)
+            }
+            out["valid"] = bool(asserted)
+            return out
+
+        exhaustive(net, None, reference)
+
+    def test_majority(self):
+        net = g.majority_voter(5)
+
+        def reference(assignment):
+            return {"maj": sum(assignment.values()) >= 3}
+
+        exhaustive(net, None, reference)
+
+    def test_majority_requires_odd(self):
+        with pytest.raises(ValueError):
+            g.majority_voter(4)
+
+    def test_alu_add_mode(self):
+        net = g.alu_slice(2)
+        for a, b in itertools.product(range(4), repeat=2):
+            assignment = {"m0": True, "m1": True}
+            for i in range(2):
+                assignment[f"a{i}"] = bool(a >> i & 1)
+                assignment[f"b{i}"] = bool(b >> i & 1)
+            values = net.evaluate(assignment)
+            total = a + b
+            for i in range(2):
+                assert values[f"y{i}"] == bool(total >> i & 1), (a, b, i)
+
+    def test_alu_logic_modes(self):
+        net = g.alu_slice(2)
+        cases = {
+            (False, False): lambda x, y: x and y,
+            (True, False): lambda x, y: x or y,
+            (False, True): lambda x, y: x != y,
+        }
+        for (m0, m1), op in cases.items():
+            for a, b in itertools.product([False, True], repeat=2):
+                assignment = {
+                    "m0": m0,
+                    "m1": m1,
+                    "a0": a,
+                    "b0": b,
+                    "a1": False,
+                    "b1": False,
+                }
+                values = net.evaluate(assignment)
+                assert values["y0"] == op(a, b), (m0, m1, a, b)
+
+
+class TestPlanted:
+    def test_deterministic(self):
+        a = g.planted_network("p", seed=42)
+        b = g.planted_network("p", seed=42)
+        assert networks_equivalent(a, b)
+        assert a.to_str() == b.to_str()
+
+    def test_different_seeds_differ(self):
+        a = g.planted_network("p", seed=1)
+        b = g.planted_network("p", seed=2)
+        assert a.to_str() != b.to_str()
+
+    def test_structure_counts(self):
+        net = g.planted_network("p", seed=9, n_divisors=3, n_targets=4)
+        names = set(net.nodes)
+        assert {"g0", "g1", "g2"} <= names
+        assert {"f0", "f1", "f2", "f3"} <= names
+
+    def test_valid_dag(self):
+        net = g.planted_network("p", seed=3)
+        net.topo_order()  # raises on cycles
+        assert net.pos
+
+
+class TestSuite:
+    def test_all_benchmarks_build(self):
+        for name in benchmark_names():
+            net = build_benchmark(name)
+            assert net.pos, name
+            net.topo_order()
+
+    def test_quick_subset(self):
+        quick = benchmark_suite(quick=True)
+        assert set(quick) <= set(benchmark_names())
+        assert len(quick) < len(benchmark_names())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmark("nope")
+
+    def test_builders_return_fresh_copies(self):
+        a = build_benchmark("add6")
+        b = build_benchmark("add6")
+        a.nodes["s0"].fanins.append("cin")
+        assert b.nodes["s0"].fanins.count("cin") == 1
+
+
+class TestPlantedPos:
+    def test_deterministic(self):
+        a = g.planted_pos_network("p", seed=7)
+        b = g.planted_pos_network("p", seed=7)
+        assert a.to_str() == b.to_str()
+
+    def test_valid_and_nontrivial(self):
+        net = g.planted_pos_network("p", seed=13)
+        net.topo_order()
+        assert net.pos
+        assert all(
+            not n.is_constant() for n in net.internal_nodes()
+        )
+
+    def test_pos_structure_is_divisible(self):
+        # At least one seed in the suite range must give the POS
+        # machinery something to find that algebraic resub misses.
+        from repro.core.config import BASIC
+        from repro.core.substitution import substitute_network
+        from repro.network.factor import network_literals
+        from repro.network.resub import resub
+        from repro.network.verify import networks_equivalent
+
+        net = g.planted_pos_network("p", seed=202)
+        sis_net = net.copy()
+        resub(sis_net)
+        rar_net = net.copy()
+        substitute_network(rar_net, BASIC)
+        assert networks_equivalent(net, rar_net)
+        assert network_literals(rar_net) < network_literals(sis_net)

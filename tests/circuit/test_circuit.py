@@ -1,0 +1,109 @@
+"""Tests for the gate-level circuit view."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gate import Gate, GateKind
+
+
+def demo() -> Circuit:
+    c = Circuit("demo")
+    for pi in "abc":
+        c.add_pi(pi)
+    c.add_and("g1", [("a", True), ("b", False)])
+    c.add_or("f", [("g1", True), ("c", True)])
+    return c
+
+
+class TestGate:
+    def test_source_gates_take_no_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("x", GateKind.PI, [("y", True)])
+
+    def test_controlling_values(self):
+        assert Gate("x", GateKind.AND).controlling_value() is False
+        assert Gate("x", GateKind.OR).controlling_value() is True
+        with pytest.raises(ValueError):
+            Gate("x", GateKind.PI).controlling_value()
+
+    def test_copy_is_independent(self):
+        gate = Gate("x", GateKind.AND, [("a", True)])
+        clone = gate.copy()
+        clone.inputs.append(("b", False))
+        assert len(gate.inputs) == 1
+
+    def test_repr_shows_phases(self):
+        gate = Gate("x", GateKind.AND, [("a", True), ("b", False)])
+        assert "b'" in repr(gate)
+
+
+class TestCircuit:
+    def test_duplicate_names_rejected(self):
+        c = demo()
+        with pytest.raises(ValueError):
+            c.add_pi("a")
+
+    def test_fanouts(self):
+        c = demo()
+        assert c.fanouts()["g1"] == ["f"]
+        assert c.fanouts()["a"] == ["g1"]
+
+    def test_fanouts_cache_invalidation(self):
+        c = demo()
+        c.fanouts()
+        c.gates["f"].inputs.append(("a", True))
+        c.invalidate()
+        assert "f" in c.fanouts()["a"]
+
+    def test_topo_order(self):
+        order = demo().topo_order()
+        assert order.index("g1") < order.index("f")
+
+    def test_topo_cycle_detection(self):
+        c = Circuit()
+        c.add_pi("a")
+        c.add_and("x", [("y", True)])
+        c.add_and("y", [("x", True)])
+        with pytest.raises(ValueError):
+            c.topo_order()
+
+    def test_transitive_fanin(self):
+        c = demo()
+        assert c.transitive_fanin("f") == {"g1", "a", "b", "c"}
+
+    def test_count_wires(self):
+        assert demo().count_wires() == 4
+
+    def test_copy_deep(self):
+        c = demo()
+        clone = c.copy()
+        clone.gates["g1"].inputs.pop()
+        assert len(c.gates["g1"].inputs) == 2
+
+
+class TestEvaluate:
+    def test_and_or_with_phases(self):
+        c = demo()
+        # f = (a AND NOT b) OR c
+        for a, b, x in itertools.product([False, True], repeat=3):
+            values = c.evaluate({"a": a, "b": b, "c": x})
+            assert values["f"] == ((a and not b) or x)
+
+    def test_constants(self):
+        c = Circuit()
+        c.add_gate(Gate("one", GateKind.CONST1))
+        c.add_gate(Gate("zero", GateKind.CONST0))
+        c.add_or("f", [("one", True), ("zero", True)])
+        assert c.evaluate({})["f"] is True
+
+    def test_empty_and_is_one(self):
+        c = Circuit()
+        c.add_gate(Gate("t", GateKind.AND, []))
+        assert c.evaluate({})["t"] is True
+
+    def test_empty_or_is_zero(self):
+        c = Circuit()
+        c.add_gate(Gate("t", GateKind.OR, []))
+        assert c.evaluate({})["t"] is False

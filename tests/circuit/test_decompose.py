@@ -1,0 +1,78 @@
+"""Tests for network-to-circuit decomposition."""
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.circuit.decompose import network_to_circuit, node_region_gates
+from repro.circuit.gate import GateKind
+from repro.network.network import Network
+from repro.network.node import Node
+from repro.twolevel.cover import Cover
+from tests.conftest import network_st
+
+
+class TestNodeRegion:
+    def test_two_level_structure(self):
+        node = Node("f", ["a", "b", "c"], Cover.parse("ab + c", ["a", "b", "c"]))
+        gates = node_region_gates(node)
+        names = {g.name: g for g in gates}
+        assert "f" in names and names["f"].kind == GateKind.OR
+        assert names["f.c0"].kind == GateKind.AND
+        # Single-literal cube feeds the OR directly.
+        assert ("c", True) in names["f"].inputs
+
+    def test_single_cube_becomes_and(self):
+        node = Node("f", ["a", "b"], Cover.parse("ab'", ["a", "b"]))
+        gates = node_region_gates(node)
+        assert len(gates) == 1
+        assert gates[0].kind == GateKind.AND
+        assert gates[0].inputs == [("a", True), ("b", False)]
+
+    def test_constants(self):
+        zero = Node("f", [], Cover.zero(0))
+        one = Node("f", [], Cover.one(0))
+        assert node_region_gates(zero)[0].kind == GateKind.CONST0
+        assert node_region_gates(one)[0].kind == GateKind.CONST1
+
+    def test_prefix_namespacing(self):
+        node = Node("f", ["a"], Cover.parse("a", ["a"]))
+        gates = node_region_gates(node, prefix="p.")
+        assert gates[-1].name == "p.f"
+
+    def test_pi_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            node_region_gates(Node("x"))
+
+
+class TestNetworkToCircuit:
+    def test_small_network_matches(self):
+        net = Network()
+        for pi in "abc":
+            net.add_pi(pi)
+        net.parse_node("g", "ab' + a'b", ["a", "b"])
+        net.parse_node("f", "gc + g'c'", ["g", "c"])
+        net.add_po("f")
+        circuit = network_to_circuit(net)
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip("abc", bits))
+            assert (
+                circuit.evaluate(assignment)["f"]
+                == net.evaluate(assignment)["f"]
+            )
+
+    @given(network_st())
+    @settings(max_examples=25, deadline=None)
+    def test_circuit_matches_network_property(self, net):
+        import random as rnd
+
+        circuit = network_to_circuit(net)
+        rng = rnd.Random(13)
+        for _ in range(8):
+            assignment = {pi: rng.random() < 0.5 for pi in net.pis}
+            net_values = net.evaluate(assignment)
+            circuit_values = circuit.evaluate(assignment)
+            for po in net.pos:
+                assert circuit_values[po] == net_values[po]

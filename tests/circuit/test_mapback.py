@@ -1,0 +1,120 @@
+"""Tests for circuit-to-network map-back and network RAR cleanup."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg.redundancy import remove_wire
+from repro.circuit.decompose import network_to_circuit
+from repro.circuit.mapback import (
+    network_redundancy_removal,
+    node_cover_from_gates,
+    update_network_from_circuit,
+)
+from repro.network.network import Network
+from repro.network.verify import networks_equivalent
+from tests.conftest import random_network
+
+
+def redundant_net() -> Network:
+    net = Network("r")
+    for pi in "abc":
+        net.add_pi(pi)
+    # out = ab + ab'c: the b' literal is redundant (= ab + ac).
+    net.parse_node("out", "ab + ab'c", ["a", "b", "c"])
+    net.add_po("out")
+    return net
+
+
+class TestNodeCoverFromGates:
+    def test_roundtrip_unmodified(self):
+        net = redundant_net()
+        circuit = network_to_circuit(net)
+        fanins, cover = node_cover_from_gates(circuit, "out")
+        node = net.nodes["out"]
+        assert fanins == node.fanins
+        assert cover.equivalent(node.cover.remap(
+            [fanins.index(f) for f in node.fanins], len(fanins)
+        ))
+
+    def test_reflects_wire_removal(self):
+        net = redundant_net()
+        circuit = network_to_circuit(net)
+        # Remove b' from the second cube gate (out.c1 input 1).
+        remove_wire(circuit, "out.c1", 1)
+        fanins, cover = node_cover_from_gates(circuit, "out")
+        assert cover.num_literals() == 4  # ab + ac
+
+    def test_constant_gates(self):
+        net = Network()
+        net.add_pi("a")
+        net.parse_node("k", "0", [])
+        net.add_po("k")
+        circuit = network_to_circuit(net)
+        fanins, cover = node_cover_from_gates(circuit, "k")
+        assert fanins == [] and cover.is_zero()
+
+    def test_single_cube_node(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("t", "ab'", ["a", "b"])
+        net.add_po("t")
+        circuit = network_to_circuit(net)
+        fanins, cover = node_cover_from_gates(circuit, "t")
+        assert cover.num_cubes() == 1
+        assert cover.num_literals() == 2
+
+
+class TestUpdateNetwork:
+    def test_update_counts_changes(self):
+        net = redundant_net()
+        circuit = network_to_circuit(net)
+        remove_wire(circuit, "out.c1", 1)
+        changed = update_network_from_circuit(net, circuit)
+        assert changed == 1
+        assert net.nodes["out"].sop_literals() == 4
+
+    def test_noop_when_untouched(self):
+        net = redundant_net()
+        circuit = network_to_circuit(net)
+        assert update_network_from_circuit(net, circuit) == 0
+
+
+class TestNetworkRedundancyRemoval:
+    def test_removes_known_redundancy(self):
+        net = redundant_net()
+        reference = net.copy()
+        removed = network_redundancy_removal(net)
+        assert removed >= 1
+        assert net.nodes["out"].sop_literals() == 4
+        assert networks_equivalent(reference, net)
+
+    def test_exploits_cross_node_dont_cares(self):
+        # t = mM + m'M' with m = ab <= M = a+b: whole-circuit
+        # implications remove the unreachable-combination literals.
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("m", "ab", ["a", "b"])
+        net.parse_node("M", "a + b", ["a", "b"])
+        net.parse_node("t", "mM + m'M'", ["m", "M"])
+        net.add_po("t")
+        reference = net.copy()
+        removed = network_redundancy_removal(net)
+        assert removed >= 1
+        assert net.nodes["t"].sop_literals() < 4
+        assert networks_equivalent(reference, net)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_preserves_function(self, seed):
+        net = random_network(seed, n_pis=4, n_nodes=6)
+        reference = net.copy()
+        network_redundancy_removal(net)
+        assert networks_equivalent(reference, net)
+
+    def test_fixpoint(self):
+        net = redundant_net()
+        network_redundancy_removal(net)
+        assert network_redundancy_removal(net) == 0

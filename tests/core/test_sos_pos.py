@@ -1,0 +1,104 @@
+"""Tests for SOS/POS containment and Lemmas 1 and 2."""
+
+from hypothesis import given, settings
+
+from repro.twolevel.cover import Cover
+from repro.twolevel.complement import complement
+from repro.core.sos_pos import (
+    is_pos_of,
+    is_sos_of,
+    pos_split,
+    sos_split,
+    sum_terms_of,
+)
+from tests.conftest import cover_st
+
+NAMES = list("abcde")
+
+
+def parse(text: str) -> Cover:
+    return Cover.parse(text, NAMES)
+
+
+class TestSos:
+    def test_paper_example_positive(self):
+        # b + c is an SOS of ab + ac: each dividend cube is inside one
+        # divisor cube.
+        assert is_sos_of(parse("b + c"), parse("ab + ac"))
+
+    def test_extra_divisor_cubes_allowed(self):
+        assert is_sos_of(parse("b + c + de"), parse("ab + ac"))
+
+    def test_uncovered_cube_fails(self):
+        assert not is_sos_of(parse("b + c"), parse("ab + ac + ad'"))
+
+    def test_full_divisor_cube_contains_all(self):
+        assert is_sos_of(Cover.one(5), parse("ab + c'd"))
+
+    def test_empty_dividend_trivially_true(self):
+        assert is_sos_of(parse("a"), Cover.zero(5))
+
+    def test_sos_split_partition(self):
+        region, remainder = sos_split(
+            parse("ab + ac + ad' + a'b'c'd"), parse("b + c")
+        )
+        assert region == [0, 1]
+        assert remainder == [2, 3]
+
+    @given(cover_st(4), cover_st(4))
+    @settings(max_examples=80, deadline=None)
+    def test_lemma1(self, f, g):
+        # Lemma 1: g SOS of f  =>  f·g = f.
+        if is_sos_of(g, f):
+            product = f.intersect(g)
+            assert product.truth_mask() == f.truth_mask()
+
+    @given(cover_st(4), cover_st(4))
+    @settings(max_examples=80, deadline=None)
+    def test_sos_split_region_is_sos(self, f, g):
+        region, _ = sos_split(f, g)
+        region_cover = Cover(4, [f.cubes[i] for i in region])
+        assert is_sos_of(g, region_cover)
+
+
+class TestPos:
+    def test_subsum_containment(self):
+        # Sum term (a) is a subsum of (a + b): g = (a) is a POS of
+        # f = (a + b) since (a+b) contains (a).
+        f_terms = parse("ab")  # one sum term: a + b, encoded as cube ab
+        g_terms = parse("a")
+        assert is_pos_of(g_terms, f_terms)
+
+    def test_more_literals_is_not_subsum(self):
+        f_terms = parse("a")
+        g_terms = parse("ab")
+        assert not is_pos_of(g_terms, f_terms)
+
+    def test_pos_split(self):
+        # f = (a+b)(c+d); g = (a): first term contains (a).
+        f_terms = parse("ab + cd")
+        g_terms = parse("a")
+        region, remainder = pos_split(f_terms, g_terms)
+        assert region == [0]
+        assert remainder == [1]
+
+    def test_sum_terms_of_complement(self):
+        # f = a + b  =>  f' = a'b'  => sum terms [(a + b)].
+        comp = complement(parse("a + b"))
+        terms = sum_terms_of(comp)
+        assert terms.num_cubes() == 1
+        assert terms.cubes[0] == parse("ab").cubes[0]
+
+    @given(cover_st(4), cover_st(4))
+    @settings(max_examples=80, deadline=None)
+    def test_lemma2(self, fc, gc):
+        # Encode POS objects via complements: f = (fc)', g = (gc)'.
+        # g POS of f  <=>  every sum term of f contains a sum term of
+        # g; then f + g = f.
+        f_terms = sum_terms_of(fc)
+        g_terms = sum_terms_of(gc)
+        if is_pos_of(g_terms, f_terms):
+            full = (1 << 16) - 1
+            f_mask = full & ~fc.truth_mask()
+            g_mask = full & ~gc.truth_mask()
+            assert (f_mask | g_mask) == f_mask

@@ -1,0 +1,101 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.network.blif import read_blif, to_blif_str, write_blif
+from repro.network.verify import networks_equivalent
+from tests.conftest import network_st
+
+SAMPLE = """
+# a comment
+.model toy
+.inputs a b c
+.outputs f g
+.names a b g
+11 1
+.names g c f
+1- 1
+-1 1
+.end
+"""
+
+
+class TestRead:
+    def test_reads_sample(self):
+        net = read_blif(SAMPLE)
+        assert net.name == "toy"
+        assert net.pis == ["a", "b", "c"]
+        assert net.pos == ["f", "g"]
+        assert net.nodes["g"].cover.num_cubes() == 1
+
+    def test_semantics(self):
+        net = read_blif(SAMPLE)
+        values = net.evaluate({"a": True, "b": True, "c": False})
+        assert values["g"] is True and values["f"] is True
+        values = net.evaluate({"a": False, "b": True, "c": False})
+        assert values["f"] is False
+
+    def test_constant_one_node(self):
+        net = read_blif(".model c\n.inputs a\n.outputs k\n.names k\n1\n.end")
+        assert net.nodes["k"].constant_value() is True
+
+    def test_constant_zero_node(self):
+        net = read_blif(".model c\n.inputs a\n.outputs k\n.names k\n.end")
+        assert net.nodes["k"].constant_value() is False
+
+    def test_continuation_lines(self):
+        text = ".model c\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end"
+        net = read_blif(text)
+        assert net.pis == ["a", "b"]
+
+    def test_dont_care_column(self):
+        net = read_blif(
+            ".model c\n.inputs a b c\n.outputs f\n.names a b c f\n1-0 1\n.end"
+        )
+        cube = net.nodes["f"].cover.cubes[0]
+        assert cube.phase(0) is True
+        assert cube.phase(1) is None
+        assert cube.phase(2) is False
+
+    def test_rejects_offset_rows(self):
+        with pytest.raises(ValueError):
+            read_blif(
+                ".model c\n.inputs a\n.outputs f\n.names a f\n1 0\n.end"
+            )
+
+    def test_rejects_unknown_construct(self):
+        with pytest.raises(ValueError):
+            read_blif(".model c\n.latch a b\n.end")
+
+    def test_rejects_forward_reference(self):
+        with pytest.raises(ValueError):
+            read_blif(
+                ".model c\n.inputs a\n.outputs f\n"
+                ".names ghost f\n1 1\n.end"
+            )
+
+    def test_rejects_undefined_output(self):
+        with pytest.raises(ValueError):
+            read_blif(".model c\n.inputs a\n.outputs zz\n.end")
+
+    def test_bad_cover_char(self):
+        with pytest.raises(ValueError):
+            read_blif(
+                ".model c\n.inputs a\n.outputs f\n.names a f\n2 1\n.end"
+            )
+
+
+class TestRoundTrip:
+    def test_sample_roundtrip(self):
+        net = read_blif(SAMPLE)
+        again = read_blif(to_blif_str(net))
+        assert networks_equivalent(net, again)
+
+    @given(network_st())
+    @settings(max_examples=30, deadline=None)
+    def test_random_roundtrip(self, net):
+        again = read_blif(to_blif_str(net))
+        assert again.pis == net.pis
+        assert again.pos == net.pos
+        assert networks_equivalent(net, again)

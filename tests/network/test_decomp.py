@@ -1,0 +1,133 @@
+"""Tests for node decomposition rewrites."""
+
+from hypothesis import given, settings
+
+from repro.network.decomp import (
+    and_or_decompose,
+    factored_decompose,
+    tech_decompose,
+)
+from repro.network.network import Network
+from repro.network.verify import networks_equivalent
+from tests.conftest import network_st
+
+
+def wide() -> Network:
+    net = Network("wide")
+    for pi in "abcdefgh":
+        net.add_pi(pi)
+    net.parse_node(
+        "out", "abc + de'f + g + h'", list("abcdefgh")
+    )
+    net.add_po("out")
+    return net
+
+
+class TestAndOr:
+    def test_creates_cube_nodes(self):
+        net = wide()
+        created = and_or_decompose(net)
+        assert created == 2  # abc and de'f; g and h' feed the OR
+        assert networks_equivalent(wide(), net)
+
+    def test_output_node_becomes_or(self):
+        net = wide()
+        and_or_decompose(net)
+        f = net.nodes["out"]
+        assert all(c.num_literals() == 1 for c in f.cover.cubes)
+        # Single-literal cubes keep their phases on the OR edges.
+        phases = {net_name: None for net_name in f.fanins}
+        for cube in f.cover.cubes:
+            (var, phase), = cube.literals()
+            phases[f.fanins[var]] = phase
+        assert phases["g"] is True
+        assert phases["h"] is False
+
+    def test_single_cube_nodes_untouched(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("f", "ab", ["a", "b"])
+        net.add_po("f")
+        assert and_or_decompose(net) == 0
+
+    @given(network_st())
+    @settings(max_examples=20, deadline=None)
+    def test_preserves_function(self, net):
+        reference = net.copy()
+        and_or_decompose(net)
+        assert networks_equivalent(reference, net)
+
+
+class TestFactored:
+    def test_rewrites_factorable_node(self):
+        net = Network()
+        for pi in "abcd":
+            net.add_pi(pi)
+        net.parse_node("f", "ab + ac + ad", list("abcd"))
+        net.add_po("f")
+        rewritten = factored_decompose(net, min_literals=3)
+        assert rewritten == 1
+        assert networks_equivalent(_copy_factored_ref(), net)
+
+    def test_small_nodes_skipped(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("f", "ab", ["a", "b"])
+        net.add_po("f")
+        assert factored_decompose(net) == 0
+
+    @given(network_st())
+    @settings(max_examples=20, deadline=None)
+    def test_preserves_function(self, net):
+        reference = net.copy()
+        factored_decompose(net)
+        assert networks_equivalent(reference, net)
+
+
+def _copy_factored_ref() -> Network:
+    net = Network()
+    for pi in "abcd":
+        net.add_pi(pi)
+    net.parse_node("f", "ab + ac + ad", list("abcd"))
+    net.add_po("f")
+    return net
+
+
+class TestTechDecompose:
+    def test_bounds_fanin(self):
+        net = wide()
+        tech_decompose(net, max_fanin=2)
+        for node in net.internal_nodes():
+            assert len(node.fanins) <= 2, node.to_str()
+        assert networks_equivalent(wide(), net)
+
+    def test_rejects_tiny_bound(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            tech_decompose(wide(), max_fanin=1)
+
+    @given(network_st())
+    @settings(max_examples=20, deadline=None)
+    def test_preserves_function(self, net):
+        reference = net.copy()
+        tech_decompose(net, max_fanin=3)
+        assert networks_equivalent(reference, net)
+
+    @given(network_st())
+    @settings(max_examples=10, deadline=None)
+    def test_fanin_bound_holds(self, net):
+        tech_decompose(net, max_fanin=3)
+        for node in net.internal_nodes():
+            kind_cover = node.cover
+            if kind_cover is None:
+                continue
+            # Pure gates must obey the bound; general nodes were
+            # and-or decomposed first so they are pure as well.
+            assert len(node.fanins) <= max(
+                3, len(node.fanins) if kind_cover.num_cubes() > 1 and any(
+                    c.num_literals() > 1 for c in kind_cover.cubes
+                ) else 0
+            )

@@ -1,0 +1,111 @@
+"""Tests for SDC/ODC computation and full_simplify."""
+
+import pytest
+
+from repro.network.dontcares import DontCareComputer, full_simplify
+from repro.network.network import Network
+from repro.network.verify import networks_equivalent
+
+
+def correlated() -> Network:
+    """t's fanins m = ab and M = a + b satisfy m <= M."""
+    net = Network("corr")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.parse_node("m", "ab", ["a", "b"])
+    net.parse_node("M", "a + b", ["a", "b"])
+    net.parse_node("t", "mM + m'M'", ["m", "M"])
+    net.add_po("t")
+    return net
+
+
+class TestSdc:
+    def test_unreachable_pattern_detected(self):
+        net = correlated()
+        sdc = DontCareComputer(net).satisfiability_dc("t")
+        # fanins of t are [m, M]; m=1, M=0 (minterm 0b01) is impossible.
+        assert sdc.evaluate(0b01)
+        assert not sdc.evaluate(0b11)
+        assert not sdc.evaluate(0b00)
+        assert not sdc.evaluate(0b10)
+
+    def test_independent_fanins_have_no_sdc(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("t", "ab", ["a", "b"])
+        net.add_po("t")
+        assert DontCareComputer(net).satisfiability_dc("t").is_zero()
+
+    def test_pi_rejected(self):
+        net = correlated()
+        with pytest.raises(ValueError):
+            DontCareComputer(net).satisfiability_dc("a")
+
+    def test_pi_cap(self):
+        net = correlated()
+        with pytest.raises(ValueError):
+            DontCareComputer(net, max_pis=1)
+
+
+class TestOdc:
+    def test_masked_node_is_fully_dont_care(self):
+        net = Network()
+        for pi in "abc":
+            net.add_pi(pi)
+        net.parse_node("g", "ab", ["a", "b"])
+        # out = c masks g entirely when c=1... use out = gc so g is
+        # unobservable whenever c=0.
+        net.parse_node("out", "gc", ["g", "c"])
+        net.add_po("out")
+        odc = DontCareComputer(net).observability_dc("g")
+        # g's fanins are [a, b]; g is observable only when c=1, which
+        # is possible for every (a, b), so the ODC set is empty here.
+        assert odc.is_zero()
+
+    def test_totally_unobservable_node(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("g", "ab", ["a", "b"])
+        net.parse_node("out", "g + g'", ["g"])
+        net.add_po("out")
+        odc = DontCareComputer(net).observability_dc("g")
+        # out is constant 1: g never matters.
+        assert not odc.is_zero()
+        assert all(odc.evaluate(m) for m in range(4))
+
+
+class TestFullSimplify:
+    def test_exploits_sdc(self):
+        net = correlated()
+        reference = net.copy()
+        before = net.nodes["t"].sop_literals()
+        improved = full_simplify(net)
+        assert improved >= 1
+        assert net.nodes["t"].sop_literals() < before
+        assert networks_equivalent(reference, net)
+
+    def test_noop_when_nothing_to_gain(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("t", "ab", ["a", "b"])
+        net.add_po("t")
+        assert full_simplify(net) == 0
+
+    def test_respects_pi_cap(self):
+        net = correlated()
+        assert full_simplify(net, max_pis=1) == 0
+
+    def test_agrees_with_implication_gdc_direction(self):
+        # Anything full_simplify removes, the GDC substitution flow
+        # must also tolerate: both views of the same don't cares.
+        from repro.core.config import EXTENDED_GDC
+        from repro.core.substitution import substitute_network
+
+        net = correlated()
+        reference = net.copy()
+        full_simplify(net)
+        substitute_network(net, EXTENDED_GDC)
+        assert networks_equivalent(reference, net)

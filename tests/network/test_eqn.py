@@ -1,0 +1,137 @@
+"""Tests for the equation (.eqn) reader/writer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.network.eqn import (
+    parse_expression,
+    read_eqn,
+    to_eqn_str,
+    write_eqn,
+)
+from repro.network.verify import networks_equivalent
+from repro.twolevel.cover import Cover
+from tests.conftest import cover_st, network_st
+
+SAMPLE = """
+# the paper's intro example
+INORDER = a b c d;
+OUTORDER = f g;
+g = b + c;
+f = a * b + a * c + a * !d + !a * !b * !c * d;
+"""
+
+
+class TestParseExpression:
+    def test_and_or(self):
+        cover = parse_expression("a * b + c", ["a", "b", "c"])
+        assert cover.equivalent(Cover.parse("ab + c", ["a", "b", "c"]))
+
+    def test_juxtaposition(self):
+        cover = parse_expression("a b + c", ["a", "b", "c"])
+        assert cover.equivalent(Cover.parse("ab + c", ["a", "b", "c"]))
+
+    def test_prefix_and_postfix_not(self):
+        left = parse_expression("!a * b'", ["a", "b"])
+        assert left.equivalent(Cover.parse("a'b'", ["a", "b"]))
+
+    def test_parentheses_and_distribution(self):
+        cover = parse_expression("(a + b) * (c + d)", list("abcd"))
+        assert cover.equivalent(
+            Cover.parse("ac + ad + bc + bd", list("abcd"))
+        )
+
+    def test_complemented_group(self):
+        cover = parse_expression("!(a + b)", ["a", "b"])
+        assert cover.equivalent(Cover.parse("a'b'", ["a", "b"]))
+
+    def test_constants(self):
+        assert parse_expression("0", ["a"]).is_zero()
+        assert parse_expression("1 * a", ["a"]).equivalent(
+            Cover.parse("a", ["a"])
+        )
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expression("z", ["a"])
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expression("(a + b", ["a", "b"])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expression("a @ b", ["a", "b"])
+
+
+class TestReadEqn:
+    def test_reads_sample(self):
+        net = read_eqn(SAMPLE)
+        assert net.pis == ["a", "b", "c", "d"]
+        assert net.pos == ["f", "g"]
+        values = net.evaluate(
+            {"a": False, "b": False, "c": False, "d": True}
+        )
+        assert values["f"] is True  # the a'b'c'd cube
+
+    def test_matches_blif_network(self):
+        from repro.network.network import Network
+
+        reference = Network()
+        for pi in "abcd":
+            reference.add_pi(pi)
+        reference.parse_node("g", "b + c", ["b", "c"])
+        reference.parse_node(
+            "f", "ab + ac + ad' + a'b'c'd", ["a", "b", "c", "d"]
+        )
+        reference.add_po("f")
+        reference.add_po("g")
+        assert networks_equivalent(reference, read_eqn(SAMPLE))
+
+    def test_rejects_non_assignment(self):
+        with pytest.raises(ValueError):
+            read_eqn("INORDER = a; f + a;")
+
+
+class TestWriteEqn:
+    def test_roundtrip_sample(self):
+        net = read_eqn(SAMPLE)
+        again = read_eqn(to_eqn_str(net))
+        assert networks_equivalent(net, again)
+
+    def test_writer_emits_factored_form(self):
+        net = read_eqn(SAMPLE)
+        text = to_eqn_str(net)
+        # f factors as (b + c + !d) * a + ... : must contain parens
+        # and eqn operators, not SOP with 8 products.
+        assert "(" in text
+        assert "!" in text
+        assert "*" in text
+
+    @given(network_st())
+    @settings(max_examples=25, deadline=None)
+    def test_random_roundtrip(self, net):
+        again = read_eqn(to_eqn_str(net))
+        assert again.pis == net.pis
+        assert again.pos == net.pos
+        assert networks_equivalent(net, again)
+
+
+class TestExpressionProperty:
+    @given(cover_st(4))
+    @settings(max_examples=40, deadline=None)
+    def test_sop_rendering_parses_back(self, cover):
+        # Any SOP cover rendered with explicit operators parses back to
+        # the same function through the eqn expression grammar.
+        names = ["a", "b", "c", "d"]
+        terms = []
+        for cube in cover.cubes:
+            literals = [
+                names[v] + ("" if phase else "'")
+                for v, phase in cube.literals()
+            ]
+            terms.append(" * ".join(literals) if literals else "1")
+        if not terms:
+            return
+        parsed = parse_expression(" + ".join(terms), names)
+        assert parsed.truth_mask() == cover.truth_mask()

@@ -1,0 +1,111 @@
+"""Tests for gcx (cube) and gkx (kernel) extraction."""
+
+from hypothesis import given, settings
+
+from repro.network.network import Network
+from repro.network.extract import extract_best_cube, extract_best_kernel, gcx, gkx
+from repro.network.factor import network_literals
+from repro.network.verify import networks_equivalent
+from tests.conftest import network_st
+
+
+def shared_cube_network() -> Network:
+    net = Network("sc")
+    for pi in "abcde":
+        net.add_pi(pi)
+    net.parse_node("f1", "abc + d", ["a", "b", "c", "d"])
+    net.parse_node("f2", "abe + d'", ["a", "b", "d", "e"])
+    net.parse_node("f3", "abd", ["a", "b", "d"])
+    for po in ("f1", "f2", "f3"):
+        net.add_po(po)
+    return net
+
+
+def shared_kernel_network() -> Network:
+    net = Network("sk")
+    for pi in "abcdef":
+        net.add_pi(pi)
+    net.parse_node("f1", "ac + bc", ["a", "b", "c"])
+    net.parse_node("f2", "ad + bd + e", ["a", "b", "d", "e"])
+    net.parse_node("f3", "af + bf", ["a", "b", "f"])
+    for po in ("f1", "f2", "f3"):
+        net.add_po(po)
+    return net
+
+
+class TestGcx:
+    def test_extracts_shared_cube(self):
+        net = shared_cube_network()
+        name = extract_best_cube(net)
+        assert name is not None
+        node = net.nodes[name]
+        assert node.cover.num_cubes() == 1
+        assert set(node.fanins) == {"a", "b"}
+        assert networks_equivalent(shared_cube_network(), net)
+
+    def test_substitutes_all_occurrences(self):
+        net = shared_cube_network()
+        name = extract_best_cube(net)
+        users = [
+            n.name for n in net.internal_nodes() if name in n.fanins
+        ]
+        assert len(users) == 3
+
+    def test_gcx_loop_terminates(self):
+        net = shared_cube_network()
+        created = gcx(net)
+        assert created >= 1
+        assert extract_best_cube(net) is None
+
+    def test_no_candidates_on_flat_or(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("f", "a + b", ["a", "b"])
+        net.add_po("f")
+        assert extract_best_cube(net) is None
+
+    @given(network_st())
+    @settings(max_examples=15, deadline=None)
+    def test_gcx_preserves_function(self, net):
+        reference = net.copy()
+        gcx(net, max_rounds=5)
+        assert networks_equivalent(reference, net)
+
+
+class TestGkx:
+    def test_extracts_shared_kernel(self):
+        net = shared_kernel_network()
+        name = extract_best_kernel(net)
+        assert name is not None
+        node = net.nodes[name]
+        assert node.cover.num_cubes() == 2
+        assert set(node.fanins) == {"a", "b"}
+        assert networks_equivalent(shared_kernel_network(), net)
+
+    def test_kernel_reduces_literals(self):
+        net = shared_kernel_network()
+        before = network_literals(net)
+        gkx(net)
+        assert network_literals(net) < before
+        assert networks_equivalent(shared_kernel_network(), net)
+
+    def test_gkx_loop_terminates(self):
+        net = shared_kernel_network()
+        gkx(net)
+        assert extract_best_kernel(net) is None
+
+    def test_no_kernel_in_single_cubes(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("f", "ab", ["a", "b"])
+        net.add_po("f")
+        assert extract_best_kernel(net) is None
+
+    @given(network_st())
+    @settings(max_examples=15, deadline=None)
+    def test_gkx_preserves_function(self, net):
+        reference = net.copy()
+        gkx(net, max_rounds=5)
+        assert networks_equivalent(reference, net)

@@ -1,0 +1,90 @@
+"""Tests for algebraic factoring and literal counting."""
+
+from hypothesis import given, settings
+
+from repro.twolevel.cover import Cover
+from repro.network.factor import (
+    FactorConst,
+    FactorLeaf,
+    FactorNode,
+    factor,
+    factored_literals,
+    factored_str,
+    network_literals,
+)
+from tests.conftest import cover_st, random_network
+
+NAMES = list("abcdefg")
+
+
+def parse(text: str) -> Cover:
+    return Cover.parse(text, NAMES)
+
+
+def evaluate(tree, assignment: int) -> bool:
+    if isinstance(tree, FactorConst):
+        return tree.value
+    if isinstance(tree, FactorLeaf):
+        value = bool(assignment >> tree.var & 1)
+        return value if tree.phase else not value
+    results = (evaluate(child, assignment) for child in tree.children)
+    return all(results) if tree.kind == "and" else any(results)
+
+
+class TestFactor:
+    def test_constants(self):
+        assert isinstance(factor(Cover.zero(3)), FactorConst)
+        assert factor(Cover.one(3)).value is True
+        assert factored_literals(Cover.zero(3)) == 0
+
+    def test_single_cube(self):
+        tree = factor(parse("ab'c"))
+        assert tree.literal_count() == 3
+
+    def test_common_cube_extraction(self):
+        # abc + abd = ab(c + d): 4 literals factored vs 6 flat.
+        assert factored_literals(parse("abc + abd")) == 4
+
+    def test_kernel_factoring(self):
+        # ab + ac + ad = a(b + c + d): 4 literals.
+        assert factored_literals(parse("ab + ac + ad")) == 4
+
+    def test_paper_example_count(self):
+        # (b + c + d')a + a'b'c'd: 8 literals in factored form.
+        cover = parse("ab + ac + ad' + a'b'c'd")
+        assert factored_literals(cover) == 8
+
+    def test_factored_str_contains_parens(self):
+        text = factored_str(parse("ab + ac"), NAMES)
+        assert "(" in text or text == "a b + a c"
+
+    def test_never_worse_than_flat(self):
+        for text in ("ab + cd", "ab + ac + bc", "a + b + c"):
+            cover = parse(text)
+            assert factored_literals(cover) <= cover.num_literals()
+
+    @given(cover_st(5, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_factoring_preserves_function(self, cover):
+        tree = factor(cover)
+        for assignment in range(1 << 5):
+            assert evaluate(tree, assignment) == cover.evaluate(assignment)
+
+    @given(cover_st(5, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_literal_count_bounded(self, cover):
+        assert factored_literals(cover) <= max(cover.num_literals(), 0)
+
+
+class TestNetworkLiterals:
+    def test_network_sum(self):
+        net = random_network(3, n_pis=4, n_nodes=3)
+        total = network_literals(net)
+        assert total == sum(
+            factored_literals(n.cover) for n in net.internal_nodes()
+        )
+
+    def test_pi_contributes_nothing(self):
+        net = random_network(4)
+        pis_only = sum(1 for n in net.nodes.values() if n.is_pi)
+        assert pis_only > 0  # sanity: the metric skips these

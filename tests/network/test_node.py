@@ -1,0 +1,114 @@
+"""Tests for network nodes."""
+
+import pytest
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.network.node import Node
+
+
+def make(expression: str, fanins):
+    return Node("n", fanins, Cover.parse(expression, list(fanins)))
+
+
+class TestBasics:
+    def test_pi_has_no_cover(self):
+        node = Node("x")
+        assert node.is_pi
+        assert node.sop_literals() == 0
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Node("n", ["a"], Cover.zero(2))
+
+    def test_constant_detection(self):
+        zero = Node("n", [], Cover.zero(0))
+        one = Node("n", [], Cover.one(0))
+        assert zero.is_constant() and zero.constant_value() is False
+        assert one.constant_value() is True
+        assert make("a", ["a"]).constant_value() is None
+
+    def test_buffer_and_inverter(self):
+        assert make("a", ["a"]).is_buffer()
+        assert make("a'", ["a"]).is_inverter()
+        assert not make("a", ["a"]).is_inverter()
+        assert not make("ab", ["a", "b"]).is_buffer()
+
+    def test_counts(self):
+        node = make("ab + c'", ["a", "b", "c"])
+        assert node.num_cubes() == 2
+        assert node.sop_literals() == 3
+
+    def test_depends_on(self):
+        node = make("ab", ["a", "b"])
+        assert node.depends_on("a")
+        assert not node.depends_on("z")
+        unused = Node("n", ["a", "b"], Cover.parse("a", ["a", "b"]))
+        assert not unused.depends_on("b")
+
+
+class TestMutation:
+    def test_set_function_checks_width(self):
+        node = make("a", ["a"])
+        with pytest.raises(ValueError):
+            node.set_function(["a", "b"], Cover.zero(3))
+
+    def test_prune_unused_fanins(self):
+        node = Node("n", ["a", "b", "c"], Cover.parse("ac", ["a", "b", "c"]))
+        node.prune_unused_fanins()
+        assert node.fanins == ["a", "c"]
+        assert node.cover.to_str(node.fanins) == "ac"
+
+    def test_prune_noop_when_all_used(self):
+        node = make("ab", ["a", "b"])
+        node.prune_unused_fanins()
+        assert node.fanins == ["a", "b"]
+
+    def test_substitute_fanin_name_simple(self):
+        node = make("ab", ["a", "b"])
+        node.substitute_fanin_name("b", "z")
+        assert node.fanins == ["a", "z"]
+
+    def test_substitute_fanin_name_merging(self):
+        # f = ab + a'c with b renamed to a: cube ab -> a, a'c stays.
+        node = make("ab + a'c", ["a", "b", "c"])
+        node.substitute_fanin_name("b", "a")
+        assert node.cover.num_vars == len(node.fanins)
+        # Semantics: substitute b:=a in ab + a'c = a + a'c.
+        values = {}
+        for a in (0, 1):
+            for c in (0, 1):
+                packed = 0
+                for i, f in enumerate(node.fanins):
+                    bit = {"a": a, "c": c}[f]
+                    packed |= bit << i
+                values[(a, c)] = node.cover.evaluate(packed)
+        assert values == {
+            (0, 0): False,
+            (0, 1): True,
+            (1, 0): True,
+            (1, 1): True,
+        }
+
+    def test_substitute_merging_drops_contradictions(self):
+        # f = ab' with b renamed to a: cube aa' vanishes.
+        node = make("ab'", ["a", "b"])
+        node.substitute_fanin_name("b", "a")
+        assert node.cover.is_zero() or all(
+            False for _ in node.cover.cubes
+        )
+
+
+class TestQueries:
+    def test_literal_occurrences(self):
+        node = make("ab + a'c + b", ["a", "b", "c"])
+        assert node.literal_occurrences("a") == (1, 1)
+        assert node.literal_occurrences("b") == (2, 0)
+        assert node.literal_occurrences("z") == (0, 0)
+
+    def test_to_str_and_copy(self):
+        node = make("ab", ["a", "b"])
+        assert node.to_str() == "n = ab"
+        clone = node.copy()
+        clone.fanins.append("z")
+        assert node.fanins == ["a", "b"]

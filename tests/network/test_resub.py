@@ -1,0 +1,105 @@
+"""Tests for the algebraic resubstitution baseline."""
+
+from hypothesis import given, settings
+
+from repro.network.network import Network
+from repro.network.resub import resub, try_resub_pair
+from repro.network.verify import networks_equivalent
+from tests.conftest import network_st
+
+
+def textbook() -> Network:
+    net = Network("t")
+    for pi in "abcd":
+        net.add_pi(pi)
+    net.parse_node("g", "b + c", ["b", "c"])
+    net.parse_node("f", "ab + ac + d", ["a", "b", "c", "d"])
+    net.add_po("f")
+    net.add_po("g")
+    return net
+
+
+class TestPair:
+    def test_substitutes_algebraic_divisor(self):
+        net = textbook()
+        assert try_resub_pair(net, "f", "g")
+        assert "g" in net.nodes["f"].fanins
+        assert networks_equivalent(textbook(), net)
+
+    def test_literal_gain_required(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("g", "ab", ["a", "b"])
+        net.parse_node("f", "ab", ["a", "b"])
+        net.add_po("f")
+        net.add_po("g")
+        # f = g saves one literal (2 -> 1): should substitute.
+        assert try_resub_pair(net, "f", "g")
+        assert net.nodes["f"].fanins == ["g"]
+
+    def test_rejects_cycle(self):
+        net = Network()
+        net.add_pi("a")
+        net.parse_node("g", "a", ["a"])
+        net.parse_node("f", "g", ["g"])
+        net.add_po("f")
+        # f is in g's transitive fanout: substituting f into g would
+        # create a cycle.
+        assert not try_resub_pair(net, "g", "f")
+
+    def test_skips_existing_fanin(self):
+        net = textbook()
+        assert try_resub_pair(net, "f", "g")
+        # Second try: g is already a fanin.
+        assert not try_resub_pair(net, "f", "g")
+
+    def test_complement_divisor(self):
+        net = _complement_case()
+        changed = try_resub_pair(net, "f", "g", use_complement=True)
+        assert changed  # f contains b'c' = g'
+        assert "g" in net.nodes["f"].fanins
+        assert networks_equivalent(_complement_case(), net)
+
+    def test_no_complement_when_disabled(self):
+        net = _complement_case()
+        assert not try_resub_pair(net, "f", "g", use_complement=False)
+
+
+def _complement_case() -> Network:
+    net = Network()
+    for pi in "abc":
+        net.add_pi(pi)
+    net.parse_node("g", "b + c", ["b", "c"])
+    net.parse_node("f", "ab'c'", ["a", "b", "c"])
+    net.add_po("f")
+    net.add_po("g")
+    return net
+
+
+class TestWholeNetwork:
+    def test_resub_counts_accepted(self):
+        net = textbook()
+        assert resub(net) >= 1
+        assert networks_equivalent(textbook(), net)
+
+    def test_resub_reaches_fixpoint(self):
+        net = textbook()
+        resub(net)
+        assert resub(net) == 0
+
+    @given(network_st())
+    @settings(max_examples=20, deadline=None)
+    def test_resub_preserves_function(self, net):
+        reference = net.copy()
+        resub(net)
+        assert networks_equivalent(reference, net)
+
+    @given(network_st())
+    @settings(max_examples=15, deadline=None)
+    def test_resub_never_increases_literals(self, net):
+        from repro.network.factor import network_literals
+
+        before = network_literals(net)
+        resub(net)
+        assert network_literals(net) <= before

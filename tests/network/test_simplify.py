@@ -1,0 +1,87 @@
+"""Tests for per-node espresso simplification."""
+
+from hypothesis import given, settings
+
+from repro.network.network import Network
+from repro.network.simplify import simplify, simplify_node
+from repro.network.verify import networks_equivalent
+from tests.conftest import network_st
+
+
+def build_redundant() -> Network:
+    net = Network("r")
+    for pi in "abc":
+        net.add_pi(pi)
+    # ab + ab' + a'b collapses to a + b.
+    net.parse_node("f", "ab + ab' + a'b", ["a", "b"])
+    net.add_po("f")
+    return net
+
+
+class TestSimplifyNode:
+    def test_minimizes_cover(self):
+        net = build_redundant()
+        assert simplify_node(net, "f")
+        assert net.nodes["f"].sop_literals() == 2
+
+    def test_noop_on_minimal_node(self):
+        net = Network()
+        net.add_pi("a")
+        net.parse_node("f", "a", ["a"])
+        net.add_po("f")
+        assert not simplify_node(net, "f")
+
+    def test_skips_pis_and_constants(self):
+        net = Network()
+        net.add_pi("a")
+        net.parse_node("k", "0", [])
+        net.add_po("k")
+        assert not simplify_node(net, "a")
+        assert not simplify_node(net, "k")
+
+    def test_prunes_dropped_fanins(self):
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("f", "ab + ab'", ["a", "b"])
+        net.add_po("f")
+        simplify_node(net, "f")
+        assert net.nodes["f"].fanins == ["a"]
+
+
+class TestFaninDc:
+    def test_fanin_dc_enables_more_minimization(self):
+        # g = ab is a fanin of f alongside a and b; the combination
+        # g=1, a=0 can never occur, which lets espresso drop literals.
+        net = Network()
+        for pi in "ab":
+            net.add_pi(pi)
+        net.parse_node("g", "ab", ["a", "b"])
+        net.parse_node("f", "gab + g'a'", ["g", "a", "b"])
+        net.add_po("f")
+        reference = net.copy()
+        simplify(net, use_fanin_dc=True)
+        assert networks_equivalent(reference, net)
+        assert net.nodes["f"].sop_literals() <= 3
+
+
+class TestWholeNetwork:
+    @given(network_st())
+    @settings(max_examples=25, deadline=None)
+    def test_simplify_preserves_function(self, net):
+        reference = net.copy()
+        simplify(net)
+        assert networks_equivalent(reference, net)
+
+    @given(network_st())
+    @settings(max_examples=15, deadline=None)
+    def test_simplify_with_dc_preserves_function(self, net):
+        reference = net.copy()
+        simplify(net, use_fanin_dc=True)
+        assert networks_equivalent(reference, net)
+
+    def test_simplify_never_increases_sop_literals(self):
+        net = build_redundant()
+        before = net.sop_literals()
+        simplify(net)
+        assert net.sop_literals() <= before

@@ -1,0 +1,78 @@
+"""Tests for equivalence checking."""
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.network.network import Network
+from repro.network.verify import (
+    network_output_bdds,
+    networks_equivalent,
+    simulate_equivalent,
+)
+
+
+def pair(f_expr: str, g_expr: str):
+    nets = []
+    for expr in (f_expr, g_expr):
+        net = Network()
+        for pi in "abc":
+            net.add_pi(pi)
+        net.parse_node("f", expr, ["a", "b", "c"])
+        net.add_po("f")
+        nets.append(net)
+    return nets
+
+
+class TestBddEquivalence:
+    def test_equivalent_rewrites(self):
+        a, b = pair("ab + ab'", "a")
+        assert networks_equivalent(a, b)
+
+    def test_detects_inequivalence(self):
+        a, b = pair("ab", "a + b")
+        assert not networks_equivalent(a, b)
+
+    def test_po_name_mismatch(self):
+        a, b = pair("a", "a")
+        b.pos = []
+        b.parse_node("h", "a", ["a"])
+        b.add_po("h")
+        assert not networks_equivalent(a, b)
+
+    def test_different_pi_sets_allowed_if_unused(self):
+        a, b = pair("ab", "ab")
+        b.add_pi("z")
+        assert networks_equivalent(a, b)
+
+    def test_output_bdds_shared_manager(self):
+        a, b = pair("ab + c", "c + ba")
+        order = ["a", "b", "c"]
+        manager = BddManager(3)
+        fa = network_output_bdds(a, order, manager)
+        fb = network_output_bdds(b, order, manager)
+        assert fa["f"] == fb["f"]
+
+    def test_missing_pi_in_order_rejected(self):
+        a, _ = pair("ab", "ab")
+        with pytest.raises(ValueError):
+            network_output_bdds(a, ["a"])
+
+    def test_too_small_shared_manager_rejected(self):
+        a, _ = pair("ab", "ab")
+        with pytest.raises(ValueError):
+            network_output_bdds(a, ["a", "b", "c"], BddManager(1))
+
+
+class TestSimulation:
+    def test_agrees_on_equivalent(self):
+        a, b = pair("ab + ab'", "a")
+        assert simulate_equivalent(a, b)
+
+    def test_catches_inequivalence(self):
+        a, b = pair("ab", "a + b")
+        assert not simulate_equivalent(a, b, patterns=256)
+
+    def test_requires_same_interface(self):
+        a, b = pair("a", "a")
+        b.add_pi("extra")
+        assert not simulate_equivalent(a, b)

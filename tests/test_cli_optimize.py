@@ -1,0 +1,57 @@
+"""Tests for the `repro optimize` CLI command."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.network.blif import read_blif
+from repro.network.verify import networks_equivalent
+from repro.bench.suite import build_benchmark
+
+
+class TestOptimize:
+    def test_bench_source_to_file(self, tmp_path, capsys):
+        out = tmp_path / "opt.blif"
+        code = main(
+            ["optimize", "bench:rnd1", "--method", "basic", "-o", str(out)]
+        )
+        assert code == 0
+        optimized = read_blif(out.read_text())
+        reference = build_benchmark("rnd1")
+        assert networks_equivalent(reference, optimized)
+
+    def test_blif_file_roundtrip(self, tmp_path):
+        from repro.network.blif import to_blif_str
+
+        source = tmp_path / "in.blif"
+        source.write_text(to_blif_str(build_benchmark("dec3")))
+        out = tmp_path / "out.blif"
+        code = main(
+            [
+                "optimize",
+                str(source),
+                "--method",
+                "ext",
+                "--script",
+                "none",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert networks_equivalent(
+            build_benchmark("dec3"), read_blif(out.read_text())
+        )
+
+    def test_stdout_output(self, capsys):
+        code = main(
+            ["optimize", "bench:dec3", "--method", "sis", "--script", "none"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ".model" in out and ".end" in out
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "bench:dec3", "--method", "nope"])

@@ -1,0 +1,93 @@
+"""End-to-end integration tests: public API, CLI, and full flows."""
+
+import pytest
+
+import repro
+from repro import (
+    BASIC,
+    EXTENDED,
+    Network,
+    networks_equivalent,
+    substitute_network,
+)
+from repro.cli import main
+from repro.bench.suite import build_benchmark
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_from_docstring(self):
+        net = Network("demo")
+        for pi in "abcd":
+            net.add_pi(pi)
+        net.parse_node("g", "b + c", ["b", "c"])
+        net.parse_node(
+            "f", "ab + ac + ad' + a'b'c'd", ["a", "b", "c", "d"]
+        )
+        net.add_po("f")
+        net.add_po("g")
+        reference = net.copy()
+        stats = substitute_network(net, BASIC)
+        assert stats.improvement() > 0
+        assert networks_equivalent(reference, net)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestCli:
+    def test_table2_quick(self, capsys):
+        code = main(
+            [
+                "--circuits",
+                "dec3",
+                "--methods",
+                "sis,basic",
+                "table2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Script A" in out
+        assert "dec3" in out
+
+    def test_table5(self, capsys):
+        code = main(
+            ["--circuits", "dec3", "--methods", "basic", "table5"]
+        )
+        assert code == 0
+        assert "script.algebraic" in capsys.readouterr().out
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--methods", "bogus", "table2"])
+
+    def test_all_expands(self, capsys):
+        code = main(
+            [
+                "--circuits",
+                "dec3",
+                "--methods",
+                "sis",
+                "--no-verify",
+                "all",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("==") >= 8  # four table headers
+
+
+class TestFullFlow:
+    @pytest.mark.parametrize("name", ["cla4", "rnd2"])
+    def test_script_then_substitute(self, name):
+        from repro.scripts.flows import script_a
+
+        net = build_benchmark(name)
+        reference = net.copy()
+        script_a(net)
+        substitute_network(net, EXTENDED)
+        assert networks_equivalent(reference, net)

@@ -1,0 +1,72 @@
+"""Tests for URP complementation."""
+
+from hypothesis import given
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.twolevel.complement import complement, complement_cube
+from tests.conftest import cover_st, cube_st
+
+NAMES = list("abcde")
+
+
+def parse(text: str) -> Cover:
+    return Cover.parse(text, NAMES)
+
+
+class TestComplementCube:
+    def test_de_morgan(self):
+        comp = complement_cube(Cube.parse("ab'", NAMES), 5)
+        assert comp.truth_mask() == ((1 << 32) - 1) & ~Cover(
+            5, [Cube.parse("ab'", NAMES)]
+        ).truth_mask()
+
+    def test_full_cube_complement_is_empty(self):
+        assert complement_cube(Cube.full(), 3).is_zero()
+
+
+class TestComplement:
+    def test_zero_complement(self):
+        assert complement(Cover.zero(3)).is_one_cube()
+
+    def test_one_complement(self):
+        assert complement(Cover.one(3)).is_zero()
+
+    def test_known_complement(self):
+        comp = complement(parse("a + b"))
+        assert comp.equivalent(parse("a'b'"))
+
+    def test_tautology_complement_is_empty(self):
+        assert complement(parse("a + a'")).is_zero()
+
+    def test_wide_support_uses_recursion(self):
+        names = [f"v{i}" for i in range(12)]
+        cover = Cover.parse(" + ".join(names), names)
+        comp = complement(cover)
+        # Complement of an OR of all variables is the all-zero minterm.
+        assert comp.num_cubes() == 1
+        assert comp.cubes[0].num_literals() == 12
+
+    def test_result_has_no_single_cube_redundancy(self):
+        comp = complement(parse("ab + cd"))
+        for i, cube in enumerate(comp.cubes):
+            others = [c for j, c in enumerate(comp.cubes) if j != i]
+            assert not any(o.contains(cube) for o in others)
+
+
+class TestProperties:
+    @given(cover_st(4))
+    def test_complement_is_exact(self, cover):
+        comp = complement(cover)
+        full = (1 << 16) - 1
+        assert comp.truth_mask() == full & ~cover.truth_mask()
+
+    @given(cover_st(4))
+    def test_double_complement(self, cover):
+        assert complement(complement(cover)).truth_mask() == cover.truth_mask()
+
+    @given(cube_st(4))
+    def test_cube_complement_is_exact(self, cube):
+        comp = complement_cube(cube, 4)
+        full = (1 << 16) - 1
+        assert comp.truth_mask() == full & ~cube.truth_mask(4)

@@ -1,0 +1,101 @@
+"""Tests for PLA format I/O."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.twolevel.cover import Cover
+from repro.twolevel.pla import (
+    Pla,
+    cover_to_pla,
+    read_pla,
+    to_pla_str,
+    write_pla,
+)
+from tests.conftest import cover_st
+
+SAMPLE = """
+# a 3-input, 2-output example
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+11- 10
+--1 11
+0-0 01
+.e
+"""
+
+
+class TestRead:
+    def test_reads_sample(self):
+        pla = read_pla(SAMPLE)
+        assert pla.input_names == ["a", "b", "c"]
+        assert pla.output_names == ["f", "g"]
+        f = pla.cover("f")
+        g = pla.cover("g")
+        assert f.equivalent(Cover.parse("ab + c", ["a", "b", "c"]))
+        assert g.equivalent(Cover.parse("c + a'c'", ["a", "b", "c"]))
+
+    def test_default_names(self):
+        pla = read_pla(".i 2\n.o 1\n11 1\n.e\n")
+        assert pla.input_names == ["x0", "x1"]
+        assert pla.output_names == ["y0"]
+
+    def test_dont_care_input_column(self):
+        pla = read_pla(".i 3\n.o 1\n1-0 1\n.e\n")
+        cube = pla.cover().cubes[0]
+        assert cube.phase(0) is True
+        assert cube.phase(1) is None
+        assert cube.phase(2) is False
+
+    def test_requires_declarations(self):
+        with pytest.raises(ValueError):
+            read_pla("11 1\n.e\n")
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            read_pla(".i 3\n.o 1\n11 1\n.e\n")
+
+    def test_rejects_bad_characters(self):
+        with pytest.raises(ValueError):
+            read_pla(".i 2\n.o 1\n1z 1\n.e\n")
+
+    def test_rejects_unknown_directive(self):
+        with pytest.raises(ValueError):
+            read_pla(".i 1\n.o 1\n.phase 1\n1 1\n.e\n")
+
+    def test_type_f_accepted_others_rejected(self):
+        assert read_pla(".i 1\n.o 1\n.type f\n1 1\n.e\n")
+        with pytest.raises(ValueError):
+            read_pla(".i 1\n.o 1\n.type fr\n1 1\n.e\n")
+
+
+class TestWrite:
+    def test_roundtrip_sample(self):
+        pla = read_pla(SAMPLE)
+        again = read_pla(to_pla_str(pla))
+        for name in pla.output_names:
+            assert again.cover(name).equivalent(pla.cover(name))
+
+    def test_shared_cubes_merge_into_multi_output_rows(self):
+        pla = read_pla(SAMPLE)
+        text = to_pla_str(pla)
+        # The --1 cube drives both outputs: exactly one row ends "11".
+        rows = [
+            line for line in text.splitlines() if line.endswith(" 11")
+        ]
+        assert len(rows) == 1
+
+    def test_cover_to_pla_wrapper(self):
+        cover = Cover.parse("ab' + c", ["a", "b", "c"])
+        pla = cover_to_pla(cover, ["a", "b", "c"], output="out")
+        again = read_pla(to_pla_str(pla))
+        assert again.cover("out").equivalent(cover)
+
+    @given(cover_st(4))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, cover):
+        pla = cover_to_pla(cover)
+        again = read_pla(to_pla_str(pla))
+        assert again.cover().truth_mask() == cover.truth_mask()

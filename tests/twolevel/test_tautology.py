@@ -1,0 +1,93 @@
+"""Tests for URP tautology and containment."""
+
+from hypothesis import given
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover
+from repro.twolevel.tautology import (
+    cover_contains_cube,
+    cover_contains_cover,
+    is_tautology,
+)
+from tests.conftest import cover_st, cube_st
+
+NAMES = list("abcde")
+
+
+def parse(text: str) -> Cover:
+    return Cover.parse(text, NAMES)
+
+
+class TestTautology:
+    def test_empty_cover_is_not_tautology(self):
+        assert not is_tautology(Cover.zero(3))
+
+    def test_universal_cube_is_tautology(self):
+        assert is_tautology(Cover.one(3))
+
+    def test_x_plus_not_x(self):
+        assert is_tautology(parse("a + a'"))
+
+    def test_shannon_expansion_tautology(self):
+        assert is_tautology(parse("ab + ab' + a'b + a'b'"))
+
+    def test_near_tautology(self):
+        assert not is_tautology(parse("ab + ab' + a'b"))
+
+    def test_unate_cover_not_tautology(self):
+        assert not is_tautology(parse("a + b + cd"))
+
+    def test_large_tautology_forces_recursion(self):
+        # 14 variables keeps the support above the truth-table cutoff.
+        names = [f"v{i}" for i in range(14)]
+        terms = " + ".join(f"{n} + {n}'" for n in names[:1])
+        cover = Cover.parse(terms, names)
+        # widen support with irrelevant cubes so recursion engages
+        extra = Cover.parse(
+            " + ".join(names[1:]), names
+        )
+        assert is_tautology(cover.union(extra))
+
+    def test_large_non_tautology(self):
+        names = [f"v{i}" for i in range(14)]
+        cover = Cover.parse(" + ".join(names), names)
+        assert not is_tautology(cover)
+
+    def test_minterm_count_lower_bound_shortcut(self):
+        # A single cube with many literals cannot cover the space.
+        assert not is_tautology(parse("abcde"))
+
+
+class TestContainment:
+    def test_cube_inside_cover(self):
+        assert cover_contains_cube(parse("a + b"), Cube.parse("ab", NAMES))
+
+    def test_cube_outside_cover(self):
+        assert not cover_contains_cube(parse("a"), Cube.parse("b", NAMES))
+
+    def test_cube_covered_by_multiple(self):
+        # c is covered by the union although by neither cube alone.
+        assert cover_contains_cube(
+            parse("ca + ca'"), Cube.parse("c", NAMES)
+        )
+
+    def test_cover_contains_cover(self):
+        assert cover_contains_cover(parse("a + b"), parse("ab + ab'"))
+        assert not cover_contains_cover(parse("ab"), parse("a"))
+
+
+class TestProperties:
+    @given(cover_st(4))
+    def test_tautology_matches_truth_table(self, cover):
+        full = (1 << 16) - 1
+        assert is_tautology(cover) == (cover.truth_mask() == full)
+
+    @given(cover_st(4), cube_st(4))
+    def test_containment_matches_truth_table(self, cover, cube):
+        covered = cube.truth_mask(4) & ~cover.truth_mask() == 0
+        assert cover_contains_cube(cover, cube) == covered
+
+    @given(cover_st(4), cover_st(4))
+    def test_cover_containment_matches_truth_table(self, a, b):
+        expected = (b.truth_mask() & ~a.truth_mask()) == 0
+        assert cover_contains_cover(a, b) == expected
