@@ -1,0 +1,47 @@
+"""Before/after benchmark: signature-filtered vs unfiltered division.
+
+For each quick-suite circuit plus the mid-size ``rnd8``, runs one
+substitution pass with the simulation filter disabled and one with it
+enabled, asserting exact literal parity (the filter is sound) and
+reporting the ``boolean_divide``-invocation reduction and wall-clock
+ratio.  Writes both a human-readable table and the machine-readable
+``BENCH_sim_filter.json``.
+"""
+
+from conftest import RESULTS_DIR, write_result
+
+from repro.bench.simbench import run_sim_filter_benchmark
+from repro.bench.suite import benchmark_suite
+from repro.core.config import BASIC
+
+
+def test_sim_filter_before_after():
+    names = list(benchmark_suite(quick=True))
+    if "rnd8" not in names:
+        names.append("rnd8")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = run_sim_filter_benchmark(
+        names, BASIC, RESULTS_DIR / "BENCH_sim_filter.json"
+    )
+
+    lines = [
+        "Simulation-signature divisor filter: before/after (BASIC)",
+        f"{'circuit':<10} {'lits':>6} {'divide calls':>18} "
+        f"{'ratio':>6} {'speedup':>8} {'pruned d/v':>12}",
+    ]
+    for row in report["circuits"]:
+        off, on = row["unfiltered"], row["filtered"]
+        assert row["literal_parity"], row["circuit"]
+        lines.append(
+            f"{row['circuit']:<10} {on['literals_after']:>6} "
+            f"{off['divide_calls']:>8} -> {on['divide_calls']:>6} "
+            f"{row['divide_call_ratio']:>6.2f} {row['speedup']:>7.2f}x "
+            f"{on['divisors_pruned']:>6}/{on['variants_pruned']}"
+        )
+    lines.append(
+        f"mean divide-call ratio: {report['mean_divide_call_ratio']:.2f}"
+    )
+    write_result("sim_filter.txt", "\n".join(lines))
+
+    assert report["all_literal_parity"]
+    assert report["mean_divide_call_ratio"] >= 2.0

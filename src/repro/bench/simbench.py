@@ -1,0 +1,102 @@
+"""Before/after benchmark for the simulation-signature divisor filter.
+
+Runs :func:`~repro.core.substitution.substitute_network` twice per
+circuit — with ``enable_sim_filter`` off and on — and reports literal
+parity (the filter is sound, so final literal counts must match
+exactly), the reduction in ``boolean_divide`` invocations, and the
+wall-clock speedup.  :func:`run_sim_filter_benchmark` writes the whole
+comparison as JSON (``BENCH_sim_filter.json``) for tracking across
+revisions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.suite import build_benchmark
+from repro.core.config import BASIC, DivisionConfig
+from repro.core.substitution import substitute_network
+from repro.network.network import Network
+
+#: Default output location: ``benchmarks/results/BENCH_sim_filter.json``
+#: at the repository root.
+DEFAULT_RESULT_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "results"
+    / "BENCH_sim_filter.json"
+)
+
+
+def run_circuit(network: Network, config: DivisionConfig) -> Dict[str, float]:
+    """One substitution run on *network* (mutated in place); flat stats."""
+    start = time.perf_counter()
+    stats = substitute_network(network, config)
+    elapsed = time.perf_counter() - start
+    return {
+        "literals_before": stats.literals_before,
+        "literals_after": stats.literals_after,
+        "seconds": elapsed,
+        "attempts": stats.attempts,
+        "divide_calls": stats.divide_calls,
+        "divisors_pruned": stats.divisors_pruned,
+        "variants_pruned": stats.variants_pruned,
+        "cache_hits": stats.sim_cache_hits,
+        "cache_misses": stats.sim_cache_misses,
+        "resim_nodes": stats.resim_nodes,
+        "accepted": stats.accepted,
+    }
+
+
+def compare_on(
+    network: Network, config: DivisionConfig = BASIC
+) -> Dict[str, object]:
+    """Filtered-vs-unfiltered comparison on copies of *network*."""
+    off = run_circuit(
+        network.copy(network.name),
+        dataclasses.replace(config, enable_sim_filter=False),
+    )
+    on = run_circuit(
+        network.copy(network.name),
+        dataclasses.replace(config, enable_sim_filter=True),
+    )
+    return {
+        "circuit": network.name,
+        "unfiltered": off,
+        "filtered": on,
+        "literal_parity": off["literals_after"] == on["literals_after"],
+        "divide_call_ratio": off["divide_calls"]
+        / max(1, on["divide_calls"]),
+        "speedup": off["seconds"] / max(1e-9, on["seconds"]),
+    }
+
+
+def run_sim_filter_benchmark(
+    names: Sequence[str],
+    config: DivisionConfig = BASIC,
+    output_path: Optional[pathlib.Path] = None,
+) -> Dict[str, object]:
+    """Run :func:`compare_on` over the named suite circuits; write JSON."""
+    rows: List[Dict[str, object]] = [
+        compare_on(build_benchmark(name), config) for name in names
+    ]
+    report = {
+        "benchmark": "sim_filter",
+        "config_mode": config.mode,
+        "sim_patterns": config.sim_patterns,
+        "circuits": rows,
+        "all_literal_parity": all(r["literal_parity"] for r in rows),
+        "mean_divide_call_ratio": (
+            sum(r["divide_call_ratio"] for r in rows) / len(rows)
+            if rows
+            else 0.0
+        ),
+    }
+    path = output_path or DEFAULT_RESULT_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report

@@ -86,6 +86,18 @@ def _optimize_main(argv: List[str]) -> int:
         action="store_true",
         help="skip the equivalence check",
     )
+    parser.add_argument(
+        "--no-sim-filter",
+        action="store_true",
+        help="disable the signature-based divisor pre-filter",
+    )
+    parser.add_argument(
+        "--sim-patterns",
+        type=int,
+        default=None,
+        metavar="N",
+        help="random patterns per simulation signature (default: 256)",
+    )
     args = parser.parse_args(argv)
 
     from repro.network.blif import read_blif, to_blif_str
@@ -103,7 +115,16 @@ def _optimize_main(argv: List[str]) -> int:
 
     if args.script != "none":
         SCRIPTS[args.script](network)
-    stats = run_method(network, args.method)
+    overrides = {}
+    if args.no_sim_filter:
+        overrides["enable_sim_filter"] = False
+    if args.sim_patterns is not None:
+        if args.sim_patterns < 1:
+            parser.error("--sim-patterns must be >= 1")
+        overrides["sim_patterns"] = args.sim_patterns
+    if overrides and args.method == "sis":
+        parser.error("--no-sim-filter/--sim-patterns do not apply to sis")
+    stats = run_method(network, args.method, config_overrides=overrides)
 
     if not args.no_verify:
         if len(network.pis) <= 24:

@@ -70,11 +70,38 @@ class DivisionConfig:
     #: a belt-and-braces guard; the test suite uses BDDs instead.
     verify_with_simulation: bool = False
 
+    #: Prune division candidates with bit-parallel simulation
+    #: signatures (see :mod:`repro.sim`).  The filter is sound — it
+    #: only skips (divisor, variant) attempts that provably return no
+    #: division — so results are identical with it on or off; it is a
+    #: pure fast path.
+    enable_sim_filter: bool = True
+
+    #: Number of random input patterns packed into each signature
+    #: (one Python int per signal).  More patterns refute more
+    #: hopeless candidates at linear extra cost per bitwise op.
+    sim_patterns: int = 256
+
+    #: Seed for the per-PI signature stimulus (deterministic per PI
+    #: name, so incremental and from-scratch simulation agree).
+    sim_seed: int = 1
+
+    #: Capacity of the per-node cube-signature LRU cache.
+    sim_cache_size: int = 2048
+
+    #: Capacity of the (dividend, divisor) containment-verdict LRU
+    #: cache.
+    containment_cache_size: int = 8192
+
     def __post_init__(self):
         if self.mode not in ("basic", "extended"):
             raise ValueError("mode must be 'basic' or 'extended'")
         if self.learn_depth < 0:
             raise ValueError("learn_depth must be >= 0")
+        if self.sim_patterns < 1:
+            raise ValueError("sim_patterns must be >= 1")
+        if self.sim_cache_size < 1 or self.containment_cache_size < 1:
+            raise ValueError("cache sizes must be >= 1")
 
 
 #: Configuration 1 of the paper's experiments.

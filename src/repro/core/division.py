@@ -54,6 +54,29 @@ from repro.core.sos_pos import sos_split
 #: Synthetic OR gate asserting the (possibly core) divisor's value.
 CORE_SIGNAL = "__core__"
 
+#: The four (phase, form) variants of basic division, in the order
+#: :func:`divide_node_pair` tries them.  Subsets passed via its
+#: ``attempts`` parameter must preserve this order so equal-gain ties
+#: break identically with and without candidate filtering.
+ALL_ATTEMPTS: Tuple[Tuple[bool, str], ...] = (
+    (True, "sop"),
+    (False, "sop"),
+    (True, "pos"),
+    (False, "pos"),
+)
+
+
+def enabled_attempts(config: DivisionConfig) -> List[Tuple[bool, str]]:
+    """The (phase, form) variants *config* allows, in canonical order."""
+    attempts: List[Tuple[bool, str]] = [(True, "sop")]
+    if config.try_complement:
+        attempts.append((False, "sop"))
+    if config.try_pos:
+        attempts.append((True, "pos"))
+        if config.try_complement:
+            attempts.append((False, "pos"))
+    return attempts
+
 
 @dataclasses.dataclass
 class DivisionResult:
@@ -520,20 +543,21 @@ def divide_node_pair(
     divisor_name: str,
     config: DivisionConfig,
     circuit: Optional[Circuit] = None,
+    attempts: Optional[Sequence[Tuple[bool, str]]] = None,
 ) -> Optional[DivisionResult]:
     """Best basic division of *f* by *d* across phases and forms.
 
     Tries the SOP form with the divisor positive, then (per config) the
     complemented divisor and the POS form, returning the variant with
     the largest positive factored-literal gain, or ``None``.
+
+    *attempts* restricts the (phase, form) variants actually run — the
+    signature filter passes the subset it could not refute; variants it
+    proved hopeless would return ``None`` here anyway, so the result is
+    unchanged.  The subset must keep :data:`ALL_ATTEMPTS` order.
     """
-    attempts: List[Tuple[bool, str]] = [(True, "sop")]
-    if config.try_complement:
-        attempts.append((False, "sop"))
-    if config.try_pos:
-        attempts.append((True, "pos"))
-        if config.try_complement:
-            attempts.append((False, "pos"))
+    if attempts is None:
+        attempts = enabled_attempts(config)
 
     best: Optional[DivisionResult] = None
     for phase, form in attempts:

@@ -15,13 +15,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.network.factor import factored_literals, network_literals
 from repro.network.network import Network
-from repro.network.verify import simulate_equivalent
+from repro.network.verify import simulate_equivalent_prescreened
 from repro.core.config import DivisionConfig
 from repro.core.division import (
     apply_division,
     boolean_divide,
     build_analysis_circuit,
     divide_node_pair,
+    enabled_attempts,
 )
 from repro.core.extended import (
     build_vote_table,
@@ -43,6 +44,20 @@ class SubstitutionStats:
     literals_before: int = 0
     literals_after: int = 0
     cpu_seconds: float = 0.0
+    #: Basic-division invocations of :func:`boolean_divide` requested
+    #: (one per surviving (phase, form) variant per candidate pair).
+    divide_calls: int = 0
+    #: Candidate (dividend, divisor) pairs skipped outright because
+    #: signatures proved every division variant hopeless.
+    divisors_pruned: int = 0
+    #: Individual (phase, form) variants skipped on pairs that were
+    #: otherwise attempted.
+    variants_pruned: int = 0
+    #: Signature/verdict cache hits and misses (filter runs only).
+    sim_cache_hits: int = 0
+    sim_cache_misses: int = 0
+    #: Nodes re-evaluated by incremental re-simulation after rewrites.
+    resim_nodes: int = 0
 
     def improvement(self) -> float:
         if self.literals_before == 0:
@@ -63,6 +78,13 @@ def _candidate_divisors(
     containment needs common literals) or it *is* one of *f*'s fanins
     (re-dividing by an existing fanin is how implication conflicts
     through that fanin's logic simplify *f* — the SDC-style rewrites).
+
+    Signature-based pruning of these candidates deliberately does
+    *not* happen here: *f* may be rewritten while the returned list is
+    being worked through, so a divisor hopeless against today's *f*
+    can become divisible mid-loop.  The filter is instead consulted
+    per pair at attempt time (see :func:`substitute_pass`), which is
+    what keeps filtered and unfiltered runs byte-identical.
     """
     f_node = network.nodes[f_name]
     f_support = set(f_node.fanins)
@@ -111,6 +133,12 @@ class _Snapshot:
                     self.network.remove_node(name)
 
 
+def _note_mutation(sim_filter, names: Sequence[str]) -> None:
+    """Refresh maintained signatures after rewriting *names* (if any)."""
+    if sim_filter is not None:
+        sim_filter.note_mutation(names)
+
+
 def _try_extended(
     network: Network,
     f_name: str,
@@ -119,6 +147,7 @@ def _try_extended(
     stats: SubstitutionStats,
     reference: Optional[Network],
     form: str = "sop",
+    sim_filter=None,
 ) -> bool:
     """One extended-division attempt on *f* over pooled divisors.
 
@@ -166,8 +195,10 @@ def _try_extended(
             return False
         snapshot = _Snapshot(network, [f_name])
         apply_division(network, result)
-        if not _verify_ok(network, reference, config):
+        _note_mutation(sim_filter, [f_name])
+        if not _verify_ok(network, reference, config, sim_filter):
             snapshot.restore()
+            _note_mutation(sim_filter, [f_name])
             return False
         stats.accepted += 1
         stats.wires_removed += result.wires_removed
@@ -193,17 +224,20 @@ def _try_extended(
     result = boolean_divide(network, f_name, core_name, config, form=form)
     if result is None:
         snapshot.restore()
+        _note_mutation(sim_filter, [f_name, d_name, core_name])
         return False
     apply_division(network, result)
+    _note_mutation(sim_filter, [f_name, d_name, core_name])
     after_total = (
         factored_literals(network.nodes[f_name].cover)
         + factored_literals(network.nodes[d_name].cover)
         + factored_literals(network.nodes[core_name].cover)
     )
     if after_total >= before_total or not _verify_ok(
-        network, reference, config
+        network, reference, config, sim_filter
     ):
         snapshot.restore()
+        _note_mutation(sim_filter, [f_name, d_name, core_name])
         return False
     stats.accepted += 1
     stats.cores_extracted += 1
@@ -216,10 +250,12 @@ def _verify_ok(
     network: Network,
     reference: Optional[Network],
     config: DivisionConfig,
+    sim_filter=None,
 ) -> bool:
     if not config.verify_with_simulation or reference is None:
         return True
-    return simulate_equivalent(reference, network)
+    sim = sim_filter.sim if sim_filter is not None else None
+    return simulate_equivalent_prescreened(reference, network, sim)
 
 
 def substitute_pass(
@@ -227,11 +263,19 @@ def substitute_pass(
     config: DivisionConfig,
     stats: Optional[SubstitutionStats] = None,
     reference: Optional[Network] = None,
+    sim_filter=None,
 ) -> int:
-    """One sweep over all nodes; returns accepted substitutions."""
+    """One sweep over all nodes; returns accepted substitutions.
+
+    *sim_filter* is an optional :class:`~repro.sim.filter.DivisorFilter`
+    over *network* whose signatures are current; candidate (divisor,
+    variant) attempts it refutes are skipped.  Because the filter is
+    sound, the pass produces the same network with or without it.
+    """
     if stats is None:
         stats = SubstitutionStats()
     accepted_before = stats.accepted
+    n_enabled = len(enabled_attempts(config))
     names = [node.name for node in network.internal_nodes()]
     for f_name in names:
         if f_name not in network.nodes:
@@ -258,16 +302,36 @@ def substitute_pass(
         for d_name in divisors:
             if d_name not in network.nodes:
                 continue
+            attempts = None
+            if sim_filter is not None:
+                # Pruning is evaluated against the *current* network
+                # state, so a skip is a proof divide_node_pair would
+                # return None right now — never a changed outcome.
+                attempts = sim_filter.viable_attempts(f_name, d_name)
+                if not attempts:
+                    stats.divisors_pruned += 1
+                    continue
+                stats.variants_pruned += n_enabled - len(attempts)
             stats.attempts += 1
+            stats.divide_calls += (
+                n_enabled if attempts is None else len(attempts)
+            )
             result = divide_node_pair(
-                network, f_name, d_name, config, circuit=shared_circuit
+                network,
+                f_name,
+                d_name,
+                config,
+                circuit=shared_circuit,
+                attempts=attempts,
             )
             if result is None:
                 continue
             snapshot = _Snapshot(network, [f_name])
             apply_division(network, result)
-            if not _verify_ok(network, reference, config):
+            _note_mutation(sim_filter, [f_name])
+            if not _verify_ok(network, reference, config, sim_filter):
                 snapshot.restore()
+                _note_mutation(sim_filter, [f_name])
                 continue
             stats.accepted += 1
             stats.wires_removed += result.wires_removed
@@ -275,11 +339,20 @@ def substitute_pass(
 
         if config.mode == "extended":
             # Extended division over the pooled candidates; repeat while
-            # it keeps paying (f shrinks each time).
+            # it keeps paying (f shrinks each time).  The pool is *not*
+            # signature-pruned: with regional implications the pooled
+            # divisors' gates feed the shared analysis circuit, so
+            # dropping one would weaken implications for the others.
             for _ in range(4):
                 divisors = _candidate_divisors(network, f_name, config)
                 if not divisors or not _try_extended(
-                    network, f_name, divisors, config, stats, reference
+                    network,
+                    f_name,
+                    divisors,
+                    config,
+                    stats,
+                    reference,
+                    sim_filter=sim_filter,
                 ):
                     break
 
@@ -304,6 +377,7 @@ def substitute_pass(
                     stats,
                     reference,
                     form="pos",
+                    sim_filter=sim_filter,
                 ):
                     break
     return stats.accepted - accepted_before
@@ -324,10 +398,30 @@ def substitute_network(
     if config.verify_with_simulation and reference is None:
         reference = network.copy("reference")
     start = time.perf_counter()
+    sim_filter = None
+    if config.enable_sim_filter:
+        # Imported lazily: repro.sim.filter imports repro.core.division,
+        # so a top-level import here would be circular via
+        # repro.core.__init__.
+        from repro.sim.filter import DivisorFilter
+
+        sim_filter = DivisorFilter(network, config)
     for _ in range(config.max_passes):
-        if substitute_pass(network, config, stats, reference) == 0:
+        if (
+            substitute_pass(
+                network, config, stats, reference, sim_filter=sim_filter
+            )
+            == 0
+        ):
             break
     network.sweep_dangling()
+    if sim_filter is not None:
+        # Pick up nodes dropped by the sweep, then fold the filter's
+        # counters into the run statistics.
+        sim_filter.note_mutation([])
+        stats.sim_cache_hits = sim_filter.cache_hits
+        stats.sim_cache_misses = sim_filter.cache_misses
+        stats.resim_nodes = sim_filter.sim.nodes_resimulated
     stats.cpu_seconds = time.perf_counter() - start
     stats.literals_after = network_literals(network)
     return stats

@@ -11,6 +11,33 @@ from repro.twolevel.complement import complement
 from repro.network.node import Node
 
 
+def eval_cube_packed(cube: Cube, fanin_values: Sequence[int], mask: int) -> int:
+    """Bit-parallel evaluation of one cube over packed fanin values.
+
+    *fanin_values* holds one integer per cover variable whose bit ``k``
+    is that variable's value in pattern ``k``; *mask* has one bit per
+    packed pattern.  The result has bit ``k`` set iff the cube is 1
+    under pattern ``k``.
+    """
+    term = mask
+    for var, phase in cube.literals():
+        value = fanin_values[var]
+        term &= value if phase else (mask & ~value)
+        if not term:
+            break
+    return term
+
+
+def eval_cover_packed(cover: Cover, fanin_values: Sequence[int], mask: int) -> int:
+    """Bit-parallel evaluation of a SOP cover (OR of its cubes)."""
+    acc = 0
+    for cube in cover.cubes:
+        acc |= eval_cube_packed(cube, fanin_values, mask)
+        if acc == mask:
+            break
+    return acc
+
+
 class Network:
     """A DAG of :class:`Node` objects with primary inputs and outputs.
 
@@ -222,18 +249,7 @@ class Network:
                 values[name] = patterns[name]
                 continue
             fanin_values = [values[f] for f in node.fanins]
-            acc = 0
-            for cube in node.cover.cubes:
-                term = mask
-                for var, phase in cube.literals():
-                    value = fanin_values[var]
-                    term &= value if phase else (mask & ~value)
-                    if not term:
-                        break
-                acc |= term
-                if acc == mask:
-                    break
-            values[name] = acc
+            values[name] = eval_cover_packed(node.cover, fanin_values, mask)
         return values
 
     # ------------------------------------------------------------------

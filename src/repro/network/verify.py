@@ -96,3 +96,27 @@ def simulate_equivalent(
     values_a = a.simulate(stimulus, width=patterns)
     values_b = b.simulate(stimulus, width=patterns)
     return all(values_a[po] == values_b[po] for po in a.pos)
+
+
+def simulate_equivalent_prescreened(
+    reference: Network,
+    network: Network,
+    sim=None,
+    patterns: int = 256,
+    seed: int = 0,
+) -> bool:
+    """:func:`simulate_equivalent` with a maintained-signature pre-pass.
+
+    *sim* is an up-to-date
+    :class:`~repro.sim.signature.SignatureSimulator` over *network*
+    (or ``None``).  Its primary-output signatures were baselined before
+    optimization started, so a mismatch now is a *proof* that some
+    rewrite changed the network's function on a sampled pattern — the
+    expensive two-network re-simulation can be skipped.  Agreement
+    proves nothing and falls through to the full screen.
+    """
+    if sim is not None and not sim.po_signatures_clean():
+        return False
+    return simulate_equivalent(
+        reference, network, patterns=patterns, seed=seed
+    )

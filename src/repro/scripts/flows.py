@@ -16,6 +16,7 @@ Methods compared (the paper's four columns): SIS's algebraic
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Callable, Dict, Optional
 
@@ -78,10 +79,39 @@ METHODS: Dict[str, Callable[[Network], None]] = {
     "ext_gdc": _rar_method(EXTENDED_GDC),
 }
 
+#: Base configuration per method name (``None`` for SIS resub, which
+#: takes no :class:`DivisionConfig`).  Used by :func:`run_method` to
+#: apply per-run overrides such as ``enable_sim_filter``.
+METHOD_CONFIGS: Dict[str, Optional[DivisionConfig]] = {
+    "sis": None,
+    "basic": BASIC,
+    "ext": EXTENDED,
+    "ext_gdc": EXTENDED_GDC,
+}
 
-def run_method(network: Network, method: str) -> Dict[str, float]:
-    """Apply one substitution method in place; returns lit/cpu stats."""
-    runner = METHODS[method]
+
+def run_method(
+    network: Network,
+    method: str,
+    config_overrides: Optional[Dict[str, object]] = None,
+) -> Dict[str, float]:
+    """Apply one substitution method in place; returns lit/cpu stats.
+
+    *config_overrides* replaces fields of the method's base
+    :class:`DivisionConfig` (e.g. ``{"enable_sim_filter": False}``);
+    it is rejected for methods without one (``"sis"``, ad-hoc
+    registrations in :data:`METHODS`).
+    """
+    if config_overrides:
+        base = METHOD_CONFIGS.get(method)
+        if base is None:
+            raise ValueError(
+                f"method {method!r} takes no DivisionConfig overrides"
+            )
+        config = dataclasses.replace(base, **config_overrides)
+        runner: Callable[[Network], None] = _rar_method(config)
+    else:
+        runner = METHODS[method]
     start = time.perf_counter()
     runner(network)
     elapsed = time.perf_counter() - start

@@ -20,11 +20,18 @@ cubes is exactly "the literals of ``a`` are a subset of the literals of
 from __future__ import annotations
 
 import functools
+import sys
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
+if sys.version_info >= (3, 10):
 
-def _popcount(x: int) -> int:
-    return bin(x).count("1")
+    def _popcount(x: int) -> int:
+        return x.bit_count()
+
+else:  # pragma: no cover — exercised only on older interpreters
+
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
 
 
 @functools.lru_cache(maxsize=4096)

@@ -1,0 +1,134 @@
+"""Property tests: the signature filter is a *sound* pruner.
+
+Two machine-checked halves of the argument in
+:mod:`repro.sim.filter`:
+
+1. **Per-attempt soundness** — every (phase, form) variant the filter
+   refutes really does fail the exact division (``boolean_divide``
+   returns ``None``), across every dividend/divisor pair of several
+   benchmark networks.
+2. **End-to-end parity** — a full ``substitute_network`` run with the
+   filter enabled produces the *byte-identical* network (and therefore
+   identical literal counts) as a run with it disabled, while provably
+   skipping work.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.suite import build_benchmark
+from repro.core.config import BASIC, EXTENDED, DivisionConfig
+from repro.core.division import boolean_divide, enabled_attempts
+from repro.core.substitution import substitute_network
+from repro.sim.filter import DivisorFilter
+
+
+@pytest.mark.parametrize("name", ["rnd1", "rnd3", "cmp6", "pos2"])
+def test_pruned_variants_fail_exact_division(name):
+    network = build_benchmark(name)
+    config = BASIC
+    filt = DivisorFilter(network, config)
+    internal = [n.name for n in network.internal_nodes()]
+    checked_pruned = 0
+    for f in internal:
+        for d in internal:
+            if f == d:
+                continue
+            viable = set(filt.viable_attempts(f, d))
+            for phase, form in enabled_attempts(config):
+                if (phase, form) in viable:
+                    continue
+                assert (
+                    boolean_divide(
+                        network, f, d, config, phase=phase, form=form
+                    )
+                    is None
+                ), f"filter wrongly pruned {f}/{d} phase={phase} form={form}"
+                checked_pruned += 1
+    assert checked_pruned > 0, "fixture exercised no pruning"
+
+
+@pytest.mark.parametrize("name", ["rnd1", "rnd3", "cmp6"])
+def test_pruned_sop_variants_have_empty_region(name):
+    """Mirror of the soundness claim at the sos_split level: a pruned
+    SOP variant has an empty Lemma-1 region for every divisor cube."""
+    from repro.core.sos_pos import sos_split
+    from repro.twolevel.complement import complement
+
+    network = build_benchmark(name)
+    config = BASIC
+    filt = DivisorFilter(network, config)
+    internal = [n.name for n in network.internal_nodes()]
+    checked = 0
+    for f in internal:
+        for d in internal:
+            if f == d:
+                continue
+            viable = set(filt.viable_attempts(f, d))
+            if (True, "sop") in viable:
+                continue
+            result = boolean_divide(
+                network, f, d, config, phase=True, form="sop"
+            )
+            assert result is None
+            checked += 1
+            if checked >= 25:
+                return
+    if checked == 0:
+        pytest.skip("fixture exercised no (True, 'sop') pruning")
+
+
+@pytest.mark.parametrize(
+    "name,config",
+    [
+        ("rnd1", BASIC),
+        ("rnd3", BASIC),
+        ("pos2", BASIC),
+        ("rnd1", EXTENDED),
+        ("rnd3", EXTENDED),
+    ],
+)
+def test_filtered_run_is_byte_identical(name, config):
+    net_off = build_benchmark(name)
+    net_on = build_benchmark(name)
+    stats_off = substitute_network(
+        net_off, dataclasses.replace(config, enable_sim_filter=False)
+    )
+    stats_on = substitute_network(
+        net_on, dataclasses.replace(config, enable_sim_filter=True)
+    )
+    assert stats_off.literals_after == stats_on.literals_after
+    assert net_off.to_str() == net_on.to_str()
+    # The parity is interesting only if the filter actually skipped work.
+    assert stats_on.divisors_pruned + stats_on.variants_pruned > 0
+    assert stats_on.divide_calls < stats_off.divide_calls
+
+
+def test_filter_stats_populated():
+    network = build_benchmark("rnd3")
+    stats = substitute_network(network, BASIC)
+    assert stats.sim_cache_hits > 0
+    assert stats.sim_cache_misses > 0
+    if stats.accepted:
+        assert stats.resim_nodes > 0
+
+
+def test_small_pattern_count_still_sound():
+    config = dataclasses.replace(BASIC, sim_patterns=8)
+    net_off = build_benchmark("rnd1")
+    net_on = build_benchmark("rnd1")
+    substitute_network(
+        net_off, dataclasses.replace(config, enable_sim_filter=False)
+    )
+    substitute_network(net_on, config)
+    assert net_off.to_str() == net_on.to_str()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DivisionConfig(sim_patterns=0)
+    with pytest.raises(ValueError):
+        DivisionConfig(sim_cache_size=0)
+    with pytest.raises(ValueError):
+        DivisionConfig(containment_cache_size=0)
