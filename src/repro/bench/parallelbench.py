@@ -1,0 +1,127 @@
+"""Serial-vs-parallel benchmark for the speculative division engine.
+
+Runs :func:`~repro.core.substitution.substitute_network` on each
+circuit serially and then at each requested job count, and reports
+output parity (the commit protocol guarantees byte-identical BLIF, so
+literal counts and accepted rewrites must match exactly), wall-clock
+speedup, and the speculation counters (pairs evaluated / reused /
+invalidated).  :func:`run_parallel_benchmark` writes the comparison as
+JSON (``BENCH_parallel.json``) for tracking across revisions.
+
+Speedup on this engine is bounded by the physical core count —
+``machine.cpu_count`` is recorded in the report so a run on a
+single-core box (where the process pool can only add overhead) is not
+misread as a regression.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.suite import build_benchmark
+from repro.core.config import BASIC, DivisionConfig
+from repro.core.substitution import substitute_network
+from repro.network.blif import to_blif_str
+from repro.network.network import Network
+
+#: Default output location: ``benchmarks/results/BENCH_parallel.json``
+#: at the repository root.
+DEFAULT_RESULT_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "results"
+    / "BENCH_parallel.json"
+)
+
+#: Job counts measured by default (serial is always run as baseline).
+DEFAULT_JOB_COUNTS = (2, 4)
+
+
+def run_circuit(
+    network: Network, config: DivisionConfig, n_jobs: int = 1
+) -> Dict[str, object]:
+    """One substitution run on *network* (mutated in place); flat stats."""
+    start = time.perf_counter()
+    stats = substitute_network(network, config, n_jobs=n_jobs)
+    elapsed = time.perf_counter() - start
+    return {
+        "literals_before": stats.literals_before,
+        "literals_after": stats.literals_after,
+        "accepted": stats.accepted,
+        "seconds": elapsed,
+        "pairs_evaluated": stats.parallel_pairs_evaluated,
+        "pairs_reused": stats.parallel_pairs_reused,
+        "pairs_invalidated": stats.parallel_pairs_invalidated,
+        "batches": stats.parallel_batches,
+        "jobs": stats.parallel_jobs,
+    }
+
+
+def compare_on(
+    network: Network,
+    config: DivisionConfig = BASIC,
+    job_counts: Sequence[int] = DEFAULT_JOB_COUNTS,
+) -> Dict[str, object]:
+    """Serial-vs-parallel comparison on copies of *network*."""
+    serial_net = network.copy(network.name)
+    serial = run_circuit(serial_net, config)
+    serial_blif = to_blif_str(serial_net)
+    runs: Dict[str, Dict[str, object]] = {}
+    identical = True
+    for n_jobs in job_counts:
+        parallel_net = network.copy(network.name)
+        row = run_circuit(parallel_net, config, n_jobs=n_jobs)
+        row["speedup"] = serial["seconds"] / max(1e-9, row["seconds"])
+        row["output_identical"] = to_blif_str(parallel_net) == serial_blif
+        identical = identical and row["output_identical"]
+        runs[f"jobs{n_jobs}"] = row
+    return {
+        "circuit": network.name,
+        "serial": serial,
+        "parallel": runs,
+        "output_identical": identical,
+    }
+
+
+def run_parallel_benchmark(
+    names: Sequence[str],
+    config: DivisionConfig = BASIC,
+    job_counts: Sequence[int] = DEFAULT_JOB_COUNTS,
+    output_path: Optional[pathlib.Path] = None,
+) -> Dict[str, object]:
+    """Run :func:`compare_on` over the named suite circuits; write JSON."""
+    rows: List[Dict[str, object]] = [
+        compare_on(build_benchmark(name), config, job_counts)
+        for name in names
+    ]
+    cpu_count = os.cpu_count() or 1
+    best = {
+        f"jobs{n}": max(
+            (r["parallel"][f"jobs{n}"]["speedup"] for r in rows),
+            default=0.0,
+        )
+        for n in job_counts
+    }
+    report = {
+        "benchmark": "parallel",
+        "config_mode": config.mode,
+        "machine": {"cpu_count": cpu_count},
+        "note": (
+            "speedup is bounded by machine.cpu_count; on a single-core "
+            "machine the process pool can only add overhead and these "
+            "numbers measure protocol cost, not scaling"
+        ),
+        "job_counts": list(job_counts),
+        "circuits": rows,
+        "all_output_identical": all(r["output_identical"] for r in rows),
+        "best_speedup": best,
+    }
+    path = output_path or DEFAULT_RESULT_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report

@@ -14,6 +14,7 @@ Usage::
     # optimize a BLIF netlist (or a named suite circuit, bench:NAME)
     python -m repro optimize design.blif --method ext -o out.blif
     python -m repro optimize bench:rnd2 --script A --method ext_gdc
+    python -m repro optimize design.blif --jobs 4 --stats-json run.json
 """
 
 from __future__ import annotations
@@ -98,6 +99,24 @@ def _optimize_main(argv: List[str]) -> int:
         metavar="N",
         help="random patterns per simulation signature (default: 256)",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the substitution engine (default: 1; "
+            ">1 enables speculative parallel evaluation — output is "
+            "byte-identical to a serial run)"
+        ),
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write the full run statistics (worker counters included) "
+        "as JSON",
+    )
     args = parser.parse_args(argv)
 
     from repro.network.blif import read_blif, to_blif_str
@@ -122,8 +141,14 @@ def _optimize_main(argv: List[str]) -> int:
         if args.sim_patterns < 1:
             parser.error("--sim-patterns must be >= 1")
         overrides["sim_patterns"] = args.sim_patterns
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        overrides["n_jobs"] = args.jobs
     if overrides and args.method == "sis":
-        parser.error("--no-sim-filter/--sim-patterns do not apply to sis")
+        parser.error(
+            "--no-sim-filter/--sim-patterns/--jobs do not apply to sis"
+        )
     stats = run_method(network, args.method, config_overrides=overrides)
 
     if not args.no_verify:
@@ -141,6 +166,22 @@ def _optimize_main(argv: List[str]) -> int:
             handle.write(blif)
     else:
         sys.stdout.write(blif)
+    if args.stats_json:
+        import json
+
+        report = {
+            "circuit": network.name,
+            "method": args.method,
+            "script": args.script,
+            "jobs": args.jobs if args.jobs is not None else 1,
+            "literals_initial": initial,
+            "literals_final": int(stats["literals"]),
+            "cpu_seconds": stats["cpu"],
+            "substitution": stats.get("stats"),
+        }
+        with open(args.stats_json, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
     print(
         f"# {network.name}: {initial} -> {int(stats['literals'])} "
         f"factored literals ({args.method}, {stats['cpu']:.2f}s)",

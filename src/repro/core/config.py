@@ -93,6 +93,24 @@ class DivisionConfig:
     #: cache.
     containment_cache_size: int = 8192
 
+    #: Worker processes for the speculative-evaluation engine (see
+    #: :mod:`repro.parallel`).  ``1`` runs the plain serial loop;
+    #: ``>1`` freezes a network snapshot per pass, evaluates surviving
+    #: candidate pairs across workers and commits the results through
+    #: the deterministic protocol, so output is byte-identical to the
+    #: serial path.
+    n_jobs: int = 1
+
+    #: Candidate pairs per work unit shipped to a worker.  Small
+    #: batches balance load; large batches amortize IPC.
+    batch_size: int = 16
+
+    #: "process" uses a :class:`concurrent.futures.ProcessPoolExecutor`;
+    #: "serial" runs the same speculative engine in-process (debugging
+    #: and the commit-protocol tests — no pickling across processes,
+    #: same snapshot/commit semantics).
+    parallel_backend: str = "process"
+
     def __post_init__(self):
         if self.mode not in ("basic", "extended"):
             raise ValueError("mode must be 'basic' or 'extended'")
@@ -102,6 +120,14 @@ class DivisionConfig:
             raise ValueError("sim_patterns must be >= 1")
         if self.sim_cache_size < 1 or self.containment_cache_size < 1:
             raise ValueError("cache sizes must be >= 1")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.parallel_backend not in ("process", "serial"):
+            raise ValueError(
+                "parallel_backend must be 'process' or 'serial'"
+            )
 
 
 #: Configuration 1 of the paper's experiments.

@@ -58,6 +58,19 @@ class SubstitutionStats:
     sim_cache_misses: int = 0
     #: Nodes re-evaluated by incremental re-simulation after rewrites.
     resim_nodes: int = 0
+    #: Worker processes used by the speculative engine (0 = plain
+    #: serial path, 1 = in-process/serial backend).
+    parallel_jobs: int = 0
+    #: Work units shipped to the executor across all passes.
+    parallel_batches: int = 0
+    #: Candidate pairs speculatively evaluated against snapshots
+    #: (including pairs the worker-side filter pruned).
+    parallel_pairs_evaluated: int = 0
+    #: Speculative outcomes committed without re-evaluation.
+    parallel_pairs_reused: int = 0
+    #: Speculative outcomes discarded because a committed rewrite
+    #: touched their dividend/divisor (re-evaluated live).
+    parallel_pairs_invalidated: int = 0
 
     def improvement(self) -> float:
         if self.literals_before == 0:
@@ -264,6 +277,7 @@ def substitute_pass(
     stats: Optional[SubstitutionStats] = None,
     reference: Optional[Network] = None,
     sim_filter=None,
+    store=None,
 ) -> int:
     """One sweep over all nodes; returns accepted substitutions.
 
@@ -271,6 +285,15 @@ def substitute_pass(
     over *network* whose signatures are current; candidate (divisor,
     variant) attempts it refutes are skipped.  Because the filter is
     sound, the pass produces the same network with or without it.
+
+    *store* is an optional
+    :class:`~repro.parallel.engine.SpeculativeStore` of division
+    outcomes pre-evaluated against a snapshot of *network* taken at
+    pass start.  The greedy visit order and every commit decision are
+    unchanged — the store only short-circuits pair evaluations whose
+    speculative outcome is provably still valid, so the pass result is
+    byte-identical with or without it (the deterministic commit
+    protocol; see DESIGN.md).
     """
     if stats is None:
         stats = SubstitutionStats()
@@ -293,37 +316,65 @@ def substitute_pass(
         # In GDC mode the analysis circuit covers the whole network
         # minus TFO(f) and is divisor-independent, so it is built once
         # per dividend (rewrites of f itself never invalidate it — f's
-        # own gates are excluded by construction).
+        # own gates are excluded by construction).  It is built lazily:
+        # when every pair of this dividend commits from the speculative
+        # store, no live evaluation needs it.
         shared_circuit = None
-        if config.global_dc:
-            shared_circuit = build_analysis_circuit(
-                network, f_name, [], config
-            )
+
+        def _gdc_circuit(f_name=f_name):
+            nonlocal shared_circuit
+            if config.global_dc and shared_circuit is None:
+                shared_circuit = build_analysis_circuit(
+                    network, f_name, [], config
+                )
+            return shared_circuit
+
         for d_name in divisors:
             if d_name not in network.nodes:
                 continue
-            attempts = None
-            if sim_filter is not None:
-                # Pruning is evaluated against the *current* network
-                # state, so a skip is a proof divide_node_pair would
-                # return None right now — never a changed outcome.
-                attempts = sim_filter.viable_attempts(f_name, d_name)
-                if not attempts:
+            outcome = None
+            if store is not None:
+                # A valid speculative outcome equals what the live
+                # evaluation below would produce (the store's validity
+                # contract), so committing from it preserves the serial
+                # greedy sequence exactly.
+                outcome = store.lookup(
+                    network,
+                    f_name,
+                    d_name,
+                    mutated=stats.accepted > accepted_before,
+                )
+            if outcome is not None:
+                if outcome.pruned:
                     stats.divisors_pruned += 1
                     continue
-                stats.variants_pruned += n_enabled - len(attempts)
-            stats.attempts += 1
-            stats.divide_calls += (
-                n_enabled if attempts is None else len(attempts)
-            )
-            result = divide_node_pair(
-                network,
-                f_name,
-                d_name,
-                config,
-                circuit=shared_circuit,
-                attempts=attempts,
-            )
+                stats.attempts += 1
+                stats.divide_calls += outcome.divide_calls
+                stats.variants_pruned += outcome.variants_pruned
+                result = outcome.result
+            else:
+                attempts = None
+                if sim_filter is not None:
+                    # Pruning is evaluated against the *current* network
+                    # state, so a skip is a proof divide_node_pair would
+                    # return None right now — never a changed outcome.
+                    attempts = sim_filter.viable_attempts(f_name, d_name)
+                    if not attempts:
+                        stats.divisors_pruned += 1
+                        continue
+                    stats.variants_pruned += n_enabled - len(attempts)
+                stats.attempts += 1
+                stats.divide_calls += (
+                    n_enabled if attempts is None else len(attempts)
+                )
+                result = divide_node_pair(
+                    network,
+                    f_name,
+                    d_name,
+                    config,
+                    circuit=_gdc_circuit(),
+                    attempts=attempts,
+                )
             if result is None:
                 continue
             snapshot = _Snapshot(network, [f_name])
@@ -387,14 +438,30 @@ def substitute_network(
     network: Network,
     config: DivisionConfig,
     reference: Optional[Network] = None,
+    stats: Optional[SubstitutionStats] = None,
+    n_jobs: Optional[int] = None,
 ) -> SubstitutionStats:
     """Run substitution passes to a fixpoint (the paper's "one run").
 
     Returns the statistics, including factored-literal counts before
-    and after and the wall-clock time spent.
+    and after and the wall-clock time spent.  Passing an existing
+    *stats* object accumulates into it — every counter (including the
+    sim-filter cache/resim counters and the literal totals) is *added*,
+    never overwritten, so multi-run flows can aggregate one ledger
+    across calls.
+
+    *n_jobs* overrides ``config.n_jobs``.  With more than one job each
+    pass runs the speculative engine (:mod:`repro.parallel`): candidate
+    pairs are evaluated against a frozen snapshot on worker processes
+    (or in-process for ``parallel_backend="serial"``) and committed in
+    the serial greedy order through the deterministic protocol, so the
+    optimized network is byte-identical to a serial run.
     """
-    stats = SubstitutionStats()
-    stats.literals_before = network_literals(network)
+    if n_jobs is not None and n_jobs != config.n_jobs:
+        config = dataclasses.replace(config, n_jobs=n_jobs)
+    if stats is None:
+        stats = SubstitutionStats()
+    stats.literals_before += network_literals(network)
     if config.verify_with_simulation and reference is None:
         reference = network.copy("reference")
     start = time.perf_counter()
@@ -406,10 +473,24 @@ def substitute_network(
         from repro.sim.filter import DivisorFilter
 
         sim_filter = DivisorFilter(network, config)
+    engine = None
+    if config.n_jobs > 1:
+        # Lazy for the same circularity reason as the filter above.
+        from repro.parallel.engine import SpeculativeEngine
+
+        engine = SpeculativeEngine(config)
     for _ in range(config.max_passes):
+        store = None
+        if engine is not None:
+            store = engine.precompute(network, sim_filter=sim_filter)
         if (
             substitute_pass(
-                network, config, stats, reference, sim_filter=sim_filter
+                network,
+                config,
+                stats,
+                reference,
+                sim_filter=sim_filter,
+                store=store,
             )
             == 0
         ):
@@ -417,11 +498,19 @@ def substitute_network(
     network.sweep_dangling()
     if sim_filter is not None:
         # Pick up nodes dropped by the sweep, then fold the filter's
-        # counters into the run statistics.
+        # counters into the run statistics.  Accumulate — *stats* may
+        # already carry counts from a previous run.
         sim_filter.note_mutation([])
-        stats.sim_cache_hits = sim_filter.cache_hits
-        stats.sim_cache_misses = sim_filter.cache_misses
-        stats.resim_nodes = sim_filter.sim.nodes_resimulated
-    stats.cpu_seconds = time.perf_counter() - start
-    stats.literals_after = network_literals(network)
+        stats.sim_cache_hits += sim_filter.cache_hits
+        stats.sim_cache_misses += sim_filter.cache_misses
+        stats.resim_nodes += sim_filter.sim.nodes_resimulated
+    if engine is not None:
+        engine.collect()
+        stats.parallel_jobs = max(stats.parallel_jobs, engine.jobs)
+        stats.parallel_batches += engine.batches
+        stats.parallel_pairs_evaluated += engine.pairs_evaluated
+        stats.parallel_pairs_reused += engine.reused
+        stats.parallel_pairs_invalidated += engine.invalidated
+    stats.cpu_seconds += time.perf_counter() - start
+    stats.literals_after += network_literals(network)
     return stats

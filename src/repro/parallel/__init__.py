@@ -1,0 +1,37 @@
+"""Process-parallel speculative evaluation for Boolean substitution.
+
+* :mod:`repro.parallel.engine` — snapshot, candidate sharding, and the
+  deterministic commit protocol (:class:`SpeculativeStore`),
+* :mod:`repro.parallel.executor` — the process-pool and in-process
+  backends behind one interface,
+* :mod:`repro.parallel.worker` — the pickle-safe worker entry points.
+
+Enabled with ``DivisionConfig.n_jobs > 1`` (CLI: ``--jobs``); output is
+byte-identical to the serial path by construction.
+"""
+
+from repro.parallel.engine import (
+    SpeculativeEngine,
+    SpeculativeStore,
+    enumerate_candidate_pairs,
+    shard_pairs,
+)
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.parallel.worker import PairOutcome, WorkerContext, make_payload
+
+__all__ = [
+    "SpeculativeEngine",
+    "SpeculativeStore",
+    "enumerate_candidate_pairs",
+    "shard_pairs",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "make_executor",
+    "PairOutcome",
+    "WorkerContext",
+    "make_payload",
+]

@@ -1,0 +1,230 @@
+"""Speculative evaluation + deterministic commit for substitution.
+
+The paper's substitution loop is embarrassingly parallel at the
+candidate level: each (dividend, divisor) division attempt is an
+independent read-only computation until one is accepted.  The engine
+exploits that in two phases per substitution pass:
+
+**Speculate.**  :func:`build_speculative_store` freezes the network (a
+pickle is the snapshot), enumerates the same candidate pairs the serial
+greedy loop would visit, shards them into batches, and evaluates every
+pair against the snapshot on an executor
+(:mod:`repro.parallel.executor`).  Workers apply the signature filter
+themselves — the main process ships its
+:meth:`~repro.sim.signature.SignatureSimulator.snapshot` along with the
+network — so pruning cost parallelizes too.
+
+**Commit.**  The serial loop in
+:func:`~repro.core.substitution.substitute_pass` then runs unchanged,
+except that before evaluating a pair it asks the
+:class:`SpeculativeStore` for a still-valid speculative outcome:
+
+* without global don't cares, a division's outcome is a pure function
+  of the dividend's and divisor's ``(fanins, cover)`` state, so an
+  outcome stays valid exactly while *both* nodes are byte-identical to
+  the snapshot — any committed rewrite that touched either node
+  invalidates it and the pair is re-evaluated against the mutated
+  network;
+* with global don't cares (or the BDD oracle), implications flow
+  through the whole circuit, so *any* committed rewrite invalidates all
+  remaining speculation for the pass.
+
+Because commits are applied in the identical greedy order at identical
+network states, the optimized network — and the BLIF it prints — is
+byte-identical to a serial run (``tests/parallel/`` holds the
+differential fuzz suite and the commit-protocol property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import DivisionConfig
+from repro.network.network import Network
+from repro.parallel.executor import make_executor
+from repro.parallel.worker import PairOutcome, make_payload
+
+Pair = Tuple[str, str]
+
+#: A node's division-relevant state: fanin names plus the (immutable)
+#: cover object.  Two states compare equal iff every division outcome
+#: involving the node is unchanged (non-GDC modes).
+NodeState = Tuple[Tuple[str, ...], object]
+
+
+def _node_state(network: Network, name: str) -> Optional[NodeState]:
+    node = network.nodes.get(name)
+    if node is None:
+        return None
+    return (tuple(node.fanins), node.cover)
+
+
+class SpeculativeStore:
+    """Snapshot-validity ledger for speculative division outcomes.
+
+    Records the snapshot-time state of every node plus one
+    :class:`PairOutcome` per evaluated pair; :meth:`lookup` returns an
+    outcome only while it is provably identical to what a fresh
+    evaluation on the live network would produce, and counts the
+    reuse/invalidation traffic for the run statistics.
+    """
+
+    def __init__(self, network: Network, whole_network_sensitive: bool):
+        #: With global don't cares / oracle mode every outcome depends
+        #: on the whole network, so any commit invalidates everything.
+        self.whole_network_sensitive = whole_network_sensitive
+        self._states: Dict[str, NodeState] = {
+            name: (tuple(node.fanins), node.cover)
+            for name, node in network.nodes.items()
+        }
+        self._outcomes: Dict[Pair, PairOutcome] = {}
+        self.reused = 0
+        self.invalidated = 0
+
+    def record(self, outcome: PairOutcome) -> None:
+        self._outcomes[(outcome.f_name, outcome.d_name)] = outcome
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def _unchanged(self, network: Network, name: str) -> bool:
+        return self._states.get(name) == _node_state(network, name)
+
+    def lookup(
+        self,
+        network: Network,
+        f_name: str,
+        d_name: str,
+        mutated: bool,
+    ) -> Optional[PairOutcome]:
+        """The pair's speculative outcome, iff still valid.
+
+        *mutated* is True once any rewrite has been committed since the
+        snapshot (the caller tracks accepted rewrites); it is the
+        whole-network invalidation trigger for GDC/oracle modes.
+        ``None`` means the pair was never evaluated or its outcome is
+        stale — either way the caller must evaluate against the live
+        network, exactly as the serial loop would.
+        """
+        outcome = self._outcomes.get((f_name, d_name))
+        if outcome is None:
+            return None
+        if self.whole_network_sensitive:
+            valid = not mutated
+        else:
+            valid = self._unchanged(network, f_name) and self._unchanged(
+                network, d_name
+            )
+        if not valid:
+            self.invalidated += 1
+            return None
+        self.reused += 1
+        return outcome
+
+
+def enumerate_candidate_pairs(
+    network: Network, config: DivisionConfig
+) -> List[Pair]:
+    """The (dividend, divisor) pairs a serial pass would start from.
+
+    Mirrors the serial loop's enumeration on the snapshot; rewrites
+    during the commit phase can change later dividends' candidate
+    lists, in which case the missing pairs simply evaluate live.
+    """
+    # Imported here: repro.core.substitution lazily imports this module,
+    # so a top-level import back into it would be circular.
+    from repro.core.substitution import _candidate_divisors
+
+    pairs: List[Pair] = []
+    for node in network.internal_nodes():
+        if node.is_constant() or node.cover is None:
+            continue
+        for d_name in _candidate_divisors(network, node.name, config):
+            pairs.append((node.name, d_name))
+    return pairs
+
+
+def shard_pairs(
+    pairs: Sequence[Pair], batch_size: int
+) -> List[List[Pair]]:
+    """Contiguous batches, never splitting one dividend's run of pairs
+    across a batch boundary unless it alone exceeds *batch_size* (keeps
+    the workers' per-dividend GDC circuit cache effective)."""
+    batches: List[List[Pair]] = []
+    current: List[Pair] = []
+    i = 0
+    while i < len(pairs):
+        f_name = pairs[i][0]
+        j = i
+        while j < len(pairs) and pairs[j][0] == f_name:
+            j += 1
+        group = list(pairs[i:j])
+        if current and len(current) + len(group) > batch_size:
+            batches.append(current)
+            current = []
+        current.extend(group)
+        while len(current) >= batch_size:
+            batches.append(current[:batch_size])
+            current = current[batch_size:]
+        i = j
+    if current:
+        batches.append(current)
+    return batches
+
+
+class SpeculativeEngine:
+    """Per-run driver: one speculate/commit cycle per substitution pass.
+
+    Accumulates executor statistics across passes so
+    :func:`~repro.core.substitution.substitute_network` can fold them
+    into its :class:`SubstitutionStats` once at the end.
+    """
+
+    def __init__(self, config: DivisionConfig):
+        self.config = config
+        self.jobs = config.n_jobs
+        self.batches = 0
+        self.pairs_evaluated = 0
+        self.reused = 0
+        self.invalidated = 0
+        self._stores: List[SpeculativeStore] = []
+
+    def precompute(
+        self, network: Network, sim_filter=None
+    ) -> SpeculativeStore:
+        """Freeze *network*, evaluate all candidate pairs, build a store."""
+        config = self.config
+        store = SpeculativeStore(
+            network,
+            whole_network_sensitive=config.global_dc or config.oracle_dc,
+        )
+        self._stores.append(store)
+        pairs = enumerate_candidate_pairs(network, config)
+        if not pairs:
+            return store
+        sim_snapshot = (
+            sim_filter.sim.snapshot() if sim_filter is not None else None
+        )
+        payload = make_payload(network, config, sim_snapshot)
+        executor = make_executor(
+            payload, config.n_jobs, config.parallel_backend
+        )
+        try:
+            batches = shard_pairs(pairs, config.batch_size)
+            outcomes = executor.evaluate(batches)
+        finally:
+            executor.close()
+        for outcome in outcomes:
+            store.record(outcome)
+        self.jobs = getattr(executor, "workers", config.n_jobs)
+        self.batches += len(batches)
+        self.pairs_evaluated += len(outcomes)
+        return store
+
+    def collect(self) -> None:
+        """Fold per-store reuse counters into the engine totals."""
+        for store in self._stores:
+            self.reused += store.reused
+            self.invalidated += store.invalidated
+            store.reused = 0
+            store.invalidated = 0

@@ -1,0 +1,96 @@
+"""Executor backends for the speculative division engine.
+
+Both backends consume the same pickled snapshot payload and the same
+batches of (dividend, divisor) pairs, and both return
+:class:`~repro.parallel.worker.PairOutcome` lists — the engine above
+them never knows which one it is talking to:
+
+* :class:`ProcessExecutor` — a :class:`concurrent.futures.
+  ProcessPoolExecutor`; the payload is unpickled once per worker
+  process (pool initializer), batches travel as small name lists.
+* :class:`SerialExecutor` — the identical evaluation in-process against
+  a private unpickled copy.  Used for ``parallel_backend="serial"``
+  (debugging, commit-protocol tests) and as the automatic fallback
+  when a process pool cannot be spawned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.parallel.worker import (
+    PairOutcome,
+    WorkerContext,
+    _pool_evaluate,
+    _pool_init,
+)
+
+Pair = Tuple[str, str]
+
+
+class SerialExecutor:
+    """In-process executor over a private snapshot copy."""
+
+    workers = 1
+
+    def __init__(self, payload: bytes):
+        self._context = WorkerContext(payload)
+
+    def evaluate(
+        self, batches: Sequence[Sequence[Pair]]
+    ) -> List[PairOutcome]:
+        out: List[PairOutcome] = []
+        for batch in batches:
+            out.extend(self._context.evaluate(batch))
+        return out
+
+    def close(self) -> None:
+        self._context = None
+
+
+class ProcessExecutor:
+    """Process-pool executor; one snapshot unpickle per worker."""
+
+    def __init__(self, payload: bytes, n_jobs: int):
+        # Imported lazily so the serial backend works even where
+        # multiprocessing is unavailable (restricted sandboxes).
+        from concurrent.futures import ProcessPoolExecutor
+
+        self.workers = n_jobs
+        self._pool = ProcessPoolExecutor(
+            max_workers=n_jobs,
+            initializer=_pool_init,
+            initargs=(payload,),
+        )
+
+    def evaluate(
+        self, batches: Sequence[Sequence[Pair]]
+    ) -> List[PairOutcome]:
+        futures = [
+            self._pool.submit(_pool_evaluate, list(batch))
+            for batch in batches
+        ]
+        # Collection order is irrelevant for determinism — outcomes are
+        # keyed by pair and committed in serial greedy order — but
+        # iterating submission order keeps failure attribution simple.
+        out: List[PairOutcome] = []
+        for future in futures:
+            out.extend(future.result())
+        return out
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+
+def make_executor(payload: bytes, n_jobs: int, backend: str):
+    """Build the configured executor over a snapshot *payload*."""
+    if backend == "serial" or n_jobs == 1:
+        return SerialExecutor(payload)
+    if backend == "process":
+        try:
+            return ProcessExecutor(payload, n_jobs)
+        except (ImportError, OSError):
+            # No usable multiprocessing (e.g. sandboxed /dev/shm):
+            # degrade to the in-process engine, same results.
+            return SerialExecutor(payload)
+    raise ValueError(f"unknown parallel backend {backend!r}")

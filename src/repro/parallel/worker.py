@@ -1,0 +1,142 @@
+"""Worker side of the speculative division engine.
+
+A worker owns a private, frozen copy of the network (unpickled once per
+process via the pool initializer, or a plain in-process copy for the
+``serial`` backend) plus an optional :class:`DivisorFilter` rebuilt
+from the main process's signature snapshot — so workers prune with the
+exact signatures the main process had at snapshot time instead of
+re-simulating from scratch.
+
+Every entry point here is module-level and operates on picklable data
+only: that is the worker-serialization contract
+(``tests/parallel/test_pickle_roundtrip.py`` guards the types it
+rests on).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import DivisionConfig
+from repro.core.division import (
+    DivisionResult,
+    build_analysis_circuit,
+    enabled_attempts,
+    evaluate_division,
+)
+from repro.network.network import Network
+from repro.sim.filter import DivisorFilter
+from repro.sim.signature import SignatureSimulator
+
+
+@dataclasses.dataclass
+class PairOutcome:
+    """Speculative evaluation of one (dividend, divisor) pair.
+
+    ``pruned`` means the worker's signature filter refuted every
+    variant (the pair would be skipped outright); otherwise
+    ``divide_calls``/``variants_pruned`` replay the serial loop's
+    bookkeeping and ``result`` is what :func:`divide_node_pair` returned
+    against the snapshot (``None`` = no profitable division).
+    """
+
+    f_name: str
+    d_name: str
+    pruned: bool
+    divide_calls: int
+    variants_pruned: int
+    result: Optional[DivisionResult]
+
+
+class WorkerContext:
+    """Per-process evaluation state: frozen network, config, filter."""
+
+    def __init__(self, payload: bytes):
+        network, config, sim_snapshot = pickle.loads(payload)
+        self.network: Network = network
+        self.config: DivisionConfig = config
+        self.filter: Optional[DivisorFilter] = None
+        if sim_snapshot is not None:
+            sim = SignatureSimulator.from_snapshot(network, sim_snapshot)
+            self.filter = DivisorFilter(network, config, sim=sim)
+        self._n_enabled = len(enabled_attempts(config))
+        # GDC analysis circuits are divisor-independent, so they are
+        # cached per dividend for the lifetime of the (frozen) snapshot.
+        self._circuits: Dict[str, object] = {}
+
+    def evaluate(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> List[PairOutcome]:
+        network, config = self.network, self.config
+        out: List[PairOutcome] = []
+        for f_name, d_name in pairs:
+            attempts = None
+            if self.filter is not None:
+                attempts = self.filter.viable_attempts(f_name, d_name)
+                if not attempts:
+                    out.append(
+                        PairOutcome(f_name, d_name, True, 0, 0, None)
+                    )
+                    continue
+            divide_calls = (
+                self._n_enabled if attempts is None else len(attempts)
+            )
+            variants_pruned = (
+                0 if attempts is None else self._n_enabled - len(attempts)
+            )
+            circuit = None
+            if config.global_dc:
+                circuit = self._circuits.get(f_name)
+                if circuit is None:
+                    circuit = build_analysis_circuit(
+                        network, f_name, [], config
+                    )
+                    self._circuits[f_name] = circuit
+            result = evaluate_division(
+                network,
+                f_name,
+                d_name,
+                config,
+                attempts=attempts,
+                circuit=circuit,
+            )
+            out.append(
+                PairOutcome(
+                    f_name,
+                    d_name,
+                    False,
+                    divide_calls,
+                    variants_pruned,
+                    result,
+                )
+            )
+        return out
+
+
+def make_payload(
+    network: Network,
+    config: DivisionConfig,
+    sim_snapshot: Optional[Dict[str, object]],
+) -> bytes:
+    """Pickle the frozen snapshot shipped to every worker once."""
+    return pickle.dumps(
+        (network, config, sim_snapshot), pickle.HIGHEST_PROTOCOL
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing (module-level so it pickles by reference)
+# ----------------------------------------------------------------------
+_CONTEXT: Optional[WorkerContext] = None
+
+
+def _pool_init(payload: bytes) -> None:
+    global _CONTEXT
+    _CONTEXT = WorkerContext(payload)
+
+
+def _pool_evaluate(pairs: Sequence[Tuple[str, str]]) -> List[PairOutcome]:
+    assert _CONTEXT is not None, "worker used before initialization"
+    return _CONTEXT.evaluate(pairs)

@@ -28,7 +28,7 @@ from repro.network.resub import resub
 from repro.network.extract import gcx, gkx
 from repro.network.verify import networks_equivalent, simulate_equivalent
 from repro.core.config import BASIC, EXTENDED, EXTENDED_GDC, DivisionConfig
-from repro.core.substitution import substitute_network
+from repro.core.substitution import SubstitutionStats, substitute_network
 from repro.scripts.tables import TableResult, TableRow
 
 
@@ -65,14 +65,14 @@ def _sis_resub(network: Network) -> None:
     resub(network, use_complement=True)
 
 
-def _rar_method(config: DivisionConfig) -> Callable[[Network], None]:
-    def run(network: Network) -> None:
-        substitute_network(network, config)
+def _rar_method(config: DivisionConfig) -> Callable[[Network], object]:
+    def run(network: Network):
+        return substitute_network(network, config)
 
     return run
 
 
-METHODS: Dict[str, Callable[[Network], None]] = {
+METHODS: Dict[str, Callable[[Network], object]] = {
     "sis": _sis_resub,
     "basic": _rar_method(BASIC),
     "ext": _rar_method(EXTENDED),
@@ -94,8 +94,10 @@ def run_method(
     network: Network,
     method: str,
     config_overrides: Optional[Dict[str, object]] = None,
-) -> Dict[str, float]:
-    """Apply one substitution method in place; returns lit/cpu stats.
+) -> Dict[str, object]:
+    """Apply one substitution method in place; returns lit/cpu stats
+    (plus the full :class:`SubstitutionStats` under ``"stats"`` for the
+    RAR methods).
 
     *config_overrides* replaces fields of the method's base
     :class:`DivisionConfig` (e.g. ``{"enable_sim_filter": False}``);
@@ -109,16 +111,22 @@ def run_method(
                 f"method {method!r} takes no DivisionConfig overrides"
             )
         config = dataclasses.replace(base, **config_overrides)
-        runner: Callable[[Network], None] = _rar_method(config)
+        runner: Callable[[Network], object] = _rar_method(config)
     else:
         runner = METHODS[method]
     start = time.perf_counter()
-    runner(network)
+    outcome = runner(network)
     elapsed = time.perf_counter() - start
-    return {
+    result: Dict[str, object] = {
         "literals": network_literals(network),
         "cpu": elapsed,
     }
+    if isinstance(outcome, SubstitutionStats):
+        # Full run statistics (worker counters included) for callers
+        # that report more than the table columns, e.g. the CLI's
+        # ``--stats-json``.
+        result["stats"] = dataclasses.asdict(outcome)
+    return result
 
 
 def _check_equivalence(before: Network, after: Network) -> bool:

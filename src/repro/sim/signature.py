@@ -100,6 +100,48 @@ class SignatureSimulator:
         }
 
     # ------------------------------------------------------------------
+    # Snapshot shipping (parallel workers)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A picklable snapshot of the simulator's current state.
+
+        Used to ship the signatures of a frozen network to process-pool
+        workers (:mod:`repro.parallel.worker`) without each worker
+        re-simulating from scratch.  Plain ints and dicts only.
+        """
+        return {
+            "patterns": self.num_patterns,
+            "seed": self.seed,
+            "signatures": dict(self.signatures),
+            "node_generation": dict(self.node_generation),
+            "generation": self.generation,
+            "po_baseline": dict(self._po_baseline),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, network: Network, snapshot: Dict[str, object]
+    ) -> "SignatureSimulator":
+        """Rebuild a simulator over *network* from :meth:`snapshot`.
+
+        *network* must be the same network (typically an unpickled
+        copy) the snapshot was taken from; signatures are restored
+        verbatim instead of being re-simulated, so the result agrees
+        bit-for-bit with the originating simulator.
+        """
+        sim = cls.__new__(cls)
+        sim.network = network
+        sim.num_patterns = snapshot["patterns"]
+        sim.seed = snapshot["seed"]
+        sim.mask = (1 << sim.num_patterns) - 1
+        sim.signatures = dict(snapshot["signatures"])
+        sim.node_generation = dict(snapshot["node_generation"])
+        sim.generation = snapshot["generation"]
+        sim.nodes_resimulated = 0
+        sim._po_baseline = dict(snapshot["po_baseline"])
+        return sim
+
+    # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
     def refresh(self, roots: Iterable[str] = ()) -> int:

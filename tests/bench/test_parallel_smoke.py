@@ -1,0 +1,56 @@
+"""Smoke benchmark for the speculative parallel engine (``bench_smoke``).
+
+Runs in the tier-1 suite too (it is fast), but the marker lets CI pick
+just the performance smokes: ``pytest -m bench_smoke``.  Checks output
+parity on a mid-size circuit and that a JSON report lands on disk.
+
+The ``>= 1.5x at 4 jobs`` acceptance criterion only makes sense with
+cores to spare, so the speedup assertion is gated on
+``os.cpu_count()`` — on a single-core machine the process pool can
+only add overhead and the bench verifies correctness plus counter
+reporting instead.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.parallelbench import (
+    DEFAULT_RESULT_PATH,
+    compare_on,
+    run_parallel_benchmark,
+)
+from repro.bench.suite import build_benchmark
+from repro.core.config import BASIC
+
+
+@pytest.mark.bench_smoke
+def test_parallel_parity_on_rnd8():
+    comparison = compare_on(build_benchmark("rnd8"), BASIC, job_counts=(4,))
+    assert comparison["output_identical"]
+    row = comparison["parallel"]["jobs4"]
+    assert row["accepted"] == comparison["serial"]["accepted"]
+    assert row["pairs_evaluated"] > 0
+    assert row["jobs"] == 4
+    if (os.cpu_count() or 1) >= 4:
+        assert row["speedup"] >= 1.5
+
+
+@pytest.mark.bench_smoke
+def test_benchmark_report_written(tmp_path):
+    out = tmp_path / "BENCH_parallel.json"
+    report = run_parallel_benchmark(["rnd1", "rnd3"], BASIC, (2,), out)
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["all_output_identical"] is True
+    assert on_disk["circuits"][0]["circuit"] == "rnd1"
+    assert on_disk["machine"]["cpu_count"] >= 1
+    assert report["job_counts"] == [2]
+
+
+@pytest.mark.bench_smoke
+def test_default_result_path_is_in_benchmarks_results():
+    assert DEFAULT_RESULT_PATH.name == "BENCH_parallel.json"
+    assert DEFAULT_RESULT_PATH.parent.name == "results"
+    assert DEFAULT_RESULT_PATH.parent.parent.name == "benchmarks"

@@ -175,3 +175,43 @@ class TestDeepNetworkStress:
             reference = net.copy()
             substitute_network(net, config)
             assert networks_equivalent(reference, net), config.mode
+
+
+class TestStatsAccumulation:
+    """Regression: reusing one :class:`SubstitutionStats` ledger across
+    runs must *add* every counter.  The sim-filter cache/resim counters
+    used to be overwritten by the last run, silently dropping earlier
+    passes from multi-run aggregations."""
+
+    @staticmethod
+    def _fresh():
+        from repro.bench.generators import planted_network
+
+        return planted_network(
+            "acc", seed=31, n_pis=8, n_divisors=3, n_targets=4
+        )
+
+    def test_second_run_adds_instead_of_overwriting(self):
+        solo = substitute_network(self._fresh(), BASIC)
+        assert solo.resim_nodes > 0  # the counters under test are live
+
+        ledger = SubstitutionStats()
+        substitute_network(self._fresh(), BASIC, stats=ledger)
+        substitute_network(self._fresh(), BASIC, stats=ledger)
+        for field in (
+            "attempts",
+            "accepted",
+            "divide_calls",
+            "sim_cache_hits",
+            "sim_cache_misses",
+            "resim_nodes",
+            "literals_before",
+            "literals_after",
+        ):
+            assert getattr(ledger, field) == 2 * getattr(solo, field), field
+        assert ledger.cpu_seconds > solo.cpu_seconds
+
+    def test_returned_object_is_the_ledger(self):
+        ledger = SubstitutionStats()
+        out = substitute_network(self._fresh(), BASIC, stats=ledger)
+        assert out is ledger

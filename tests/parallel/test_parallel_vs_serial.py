@@ -1,0 +1,109 @@
+"""Differential fuzz suite: parallel output must be byte-identical.
+
+The speculative engine (:mod:`repro.parallel`) promises that for any
+network, config, and job count, the optimized network — down to the
+BLIF bytes — matches a serial run, along with the accepted-rewrite
+count and final literal total.  This suite checks that promise on
+seeded random networks from :mod:`repro.bench.generators` across
+process and in-process backends, job counts, and all three paper
+configurations.
+
+The quick subset runs in tier-1; the full ~30-network sweep over
+``n_jobs = 2..4`` carries the ``bench_smoke`` marker.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.generators import planted_network, planted_pos_network
+from repro.core.config import BASIC, EXTENDED, EXTENDED_GDC
+from repro.core.substitution import substitute_network
+from repro.network.blif import to_blif_str
+
+
+def _fuzz_cases():
+    """~30 deterministic (kind, seed, sizes) specs, small but varied."""
+    cases = []
+    for i in range(20):
+        cases.append(
+            ("sop", 1000 + 17 * i, 7 + i % 4, 3 + i % 3, 4 + i % 3)
+        )
+    for i in range(10):
+        cases.append(("pos", 5000 + 29 * i, 8 + i % 3, 3, 4 + i % 2))
+    return cases
+
+
+def _build(case):
+    kind, seed, n_pis, n_divisors, n_targets = case
+    name = f"fuzz_{kind}{seed}"
+    builder = planted_network if kind == "sop" else planted_pos_network
+    return builder(
+        name,
+        seed=seed,
+        n_pis=n_pis,
+        n_divisors=n_divisors,
+        n_targets=n_targets,
+    )
+
+
+def _assert_identical(case, config, n_jobs):
+    serial_net = _build(case)
+    parallel_net = _build(case)
+    serial_stats = substitute_network(serial_net, config)
+    parallel_stats = substitute_network(parallel_net, config, n_jobs=n_jobs)
+    assert to_blif_str(serial_net) == to_blif_str(parallel_net), (
+        f"{case} diverged at n_jobs={n_jobs} "
+        f"(backend={config.parallel_backend})"
+    )
+    assert serial_stats.accepted == parallel_stats.accepted
+    assert serial_stats.literals_after == parallel_stats.literals_after
+    return parallel_stats
+
+
+QUICK_CASES = _fuzz_cases()[::4]  # every 4th: 8 cases in tier-1
+
+
+@pytest.mark.parametrize("case", QUICK_CASES, ids=lambda c: f"{c[0]}{c[1]}")
+def test_process_pool_matches_serial_basic(case):
+    _assert_identical(case, BASIC, n_jobs=2)
+
+
+@pytest.mark.parametrize(
+    "config, label",
+    [(EXTENDED, "ext"), (EXTENDED_GDC, "ext_gdc")],
+    ids=["ext", "ext_gdc"],
+)
+def test_process_pool_matches_serial_extended(config, label):
+    _assert_identical(_fuzz_cases()[1], config, n_jobs=2)
+
+
+def test_inprocess_backend_matches_serial():
+    config = dataclasses.replace(BASIC, parallel_backend="serial")
+    stats = _assert_identical(_fuzz_cases()[2], config, n_jobs=3)
+    # The in-process backend runs the same speculative protocol.
+    assert stats.parallel_jobs == 1
+    assert stats.parallel_pairs_evaluated > 0
+
+
+def test_parallel_without_sim_filter_matches_serial():
+    config = dataclasses.replace(BASIC, enable_sim_filter=False)
+    _assert_identical(_fuzz_cases()[3], config, n_jobs=2)
+
+
+def test_worker_counters_are_reported():
+    stats = _assert_identical(_fuzz_cases()[0], BASIC, n_jobs=2)
+    assert stats.parallel_jobs == 2
+    assert stats.parallel_batches > 0
+    assert stats.parallel_pairs_evaluated > 0
+    assert (
+        stats.parallel_pairs_reused + stats.parallel_pairs_invalidated > 0
+    )
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("n_jobs", [2, 3, 4])
+def test_full_fuzz_sweep(n_jobs):
+    """The slow sweep: every seeded network at every job count."""
+    for case in _fuzz_cases():
+        _assert_identical(case, BASIC, n_jobs=n_jobs)
