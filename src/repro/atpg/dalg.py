@@ -136,20 +136,37 @@ def _satisfy(
     circuit: Circuit,
     objective: Tuple[str, bool],
     max_backtracks: int,
+    budget=None,
 ) -> AtpgResult:
-    """Find PI values satisfying *objective* by branch-and-propagate."""
+    """Find PI values satisfying *objective* by branch-and-propagate.
+
+    *budget* is an optional :class:`~repro.resilience.budget.RunBudget`:
+    the per-call backtrack limit is clamped to what the run has left,
+    the wall-clock deadline is honoured between branches, and the
+    backtracks actually spent (plus any incomplete verdict) are charged
+    back to the shared ledger.
+    """
     pis = sorted(circuit.pis())
     backtracks = 0
+    aborted = False
+    limit = max_backtracks
+    if budget is not None:
+        remaining = budget.backtracks_remaining()
+        if remaining is not None:
+            limit = min(limit, remaining)
 
     def search(engine: ImplicationEngine) -> Optional[Dict[str, bool]]:
-        nonlocal backtracks
+        nonlocal backtracks, aborted
         free = [pi for pi in pis if engine.value(pi) is None]
         if not free:
             # Fully assigned: implications have evaluated everything.
             return {pi: engine.value(pi) for pi in pis}
         pivot = free[0]
         for value in (True, False):
-            if backtracks > max_backtracks:
+            if backtracks > limit or (
+                budget is not None and budget.deadline_passed()
+            ):
+                aborted = True
                 return None
             fork = engine.fork()
             try:
@@ -171,11 +188,16 @@ def _satisfy(
     except Conflict:
         return AtpgResult(test=None, complete=True, backtracks=0)
     test = search(engine)
-    return AtpgResult(
+    result = AtpgResult(
         test=test,
-        complete=backtracks <= max_backtracks,
+        complete=not aborted and backtracks <= limit,
         backtracks=backtracks,
     )
+    if budget is not None:
+        budget.charge_backtracks(backtracks)
+        if not result.complete:
+            budget.note_atpg_incomplete()
+    return result
 
 
 def generate_test(
@@ -183,15 +205,18 @@ def generate_test(
     fault: StuckAtFault,
     observables: Optional[Set[str]] = None,
     max_backtracks: int = 20000,
+    budget=None,
 ) -> AtpgResult:
     """Complete ATPG for one stuck-at fault.
 
     Returns a test vector, or (with ``complete=True``) a proof of
     untestability — the exact notion the RAR machinery approximates
-    with one-sided implication conflicts.
+    with one-sided implication conflicts.  A shared
+    :class:`~repro.resilience.budget.RunBudget` further clamps the
+    backtrack limit and is charged for the work done.
     """
     miter = build_miter(circuit, fault, observables)
-    return _satisfy(miter, (_DIFF, True), max_backtracks)
+    return _satisfy(miter, (_DIFF, True), max_backtracks, budget=budget)
 
 
 def prove_redundant(
@@ -199,9 +224,17 @@ def prove_redundant(
     fault: StuckAtFault,
     observables: Optional[Set[str]] = None,
     max_backtracks: int = 20000,
+    budget=None,
 ) -> Optional[bool]:
-    """Exact redundancy: True/False, or ``None`` if the budget ran out."""
-    result = generate_test(circuit, fault, observables, max_backtracks)
+    """Exact redundancy: True/False, or ``None`` if the budget ran out.
+
+    ``None`` is a *don't know*: consumers removing wires must treat it
+    as "not redundant" (the conservative direction — keeping a
+    removable wire is safe, removing a needed one is not).
+    """
+    result = generate_test(
+        circuit, fault, observables, max_backtracks, budget=budget
+    )
     if result.test is not None:
         return False
     return True if result.complete else None

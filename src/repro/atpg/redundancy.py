@@ -42,6 +42,28 @@ def wire_is_redundant(
     return False
 
 
+def wire_is_redundant_exact(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    observables: Optional[Set[str]] = None,
+    max_backtracks: int = 20000,
+    budget=None,
+) -> bool:
+    """Complete D-alg redundancy check, conservative under budgets.
+
+    :func:`~repro.atpg.dalg.prove_redundant` is three-valued; an
+    out-of-budget ``None`` (``complete=False``) is mapped to False here
+    so redundancy *removal* never deletes a wire on a timed-out search
+    — keeping a removable wire is safe, removing a needed one is not.
+    """
+    from repro.atpg.dalg import prove_redundant
+
+    verdict = prove_redundant(
+        circuit, fault, observables, max_backtracks, budget=budget
+    )
+    return verdict is True
+
+
 def remove_wire(circuit: Circuit, gate_name: str, input_index: int) -> None:
     """Delete one input edge; degenerate gates become constants.
 
@@ -65,11 +87,20 @@ def redundancy_removal(
     observables: Optional[Set[str]] = None,
     learn_depth: int = 0,
     max_rounds: int = 10,
+    exact: bool = False,
+    max_backtracks: int = 20000,
+    budget=None,
 ) -> int:
     """Greedy redundancy removal; returns the number of wires removed.
 
     After each removal the circuit changes, so candidate faults are
     re-enumerated; rounds repeat until no wire is removable.
+
+    With ``exact=True`` a wire the implications cannot prove redundant
+    is additionally checked with the complete miter D-alg
+    (:func:`wire_is_redundant_exact`); an out-of-budget search is
+    treated as *not redundant*, so a tight *budget* only makes the
+    removal less aggressive, never unsound.
     """
     removed = 0
     for _ in range(max_rounds):
@@ -78,7 +109,18 @@ def redundancy_removal(
             gate = circuit.gates.get(fault.gate)
             if gate is None or fault.input_index >= len(gate.inputs):
                 continue
-            if wire_is_redundant(circuit, fault, observables, learn_depth):
+            redundant = wire_is_redundant(
+                circuit, fault, observables, learn_depth
+            )
+            if not redundant and exact:
+                redundant = wire_is_redundant_exact(
+                    circuit,
+                    fault,
+                    observables,
+                    max_backtracks,
+                    budget=budget,
+                )
+            if redundant:
                 remove_wire(circuit, fault.gate, fault.input_index)
                 removed += 1
                 progress = True

@@ -117,18 +117,48 @@ def _optimize_main(argv: List[str]) -> int:
         help="write the full run statistics (worker counters included) "
         "as JSON",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget for the substitution run; it stops "
+            "cleanly at the deadline with the best network found so "
+            "far (the stop is recorded in --stats-json)"
+        ),
+    )
+    parser.add_argument(
+        "--verify-commits",
+        action="store_true",
+        help=(
+            "transactional mode: verify every accepted rewrite "
+            "against the input, roll back and quarantine on miscompare"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    from repro.network.blif import read_blif, to_blif_str
+    from repro.network.blif import BlifParseError, read_blif, to_blif_str
     from repro.network.factor import network_literals
     from repro.network.verify import networks_equivalent, simulate_equivalent
     from repro.scripts.flows import SCRIPTS, run_method
 
-    if args.input.startswith("bench:"):
-        network = build_benchmark(args.input[len("bench:"):])
-    else:
-        with open(args.input) as handle:
-            network = read_blif(handle)
+    try:
+        if args.input.startswith("bench:"):
+            network = build_benchmark(args.input[len("bench:"):])
+        else:
+            with open(args.input) as handle:
+                network = read_blif(handle)
+    except BlifParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read {args.input!r}: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # build_benchmark raises KeyError("unknown benchmark ...").
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     reference = network.copy("reference")
     initial = network_literals(network)
 
@@ -145,11 +175,33 @@ def _optimize_main(argv: List[str]) -> int:
         if args.jobs < 1:
             parser.error("--jobs must be >= 1")
         overrides["n_jobs"] = args.jobs
+    if args.deadline is not None:
+        if args.deadline < 0:
+            parser.error("--deadline must be >= 0")
+        overrides["deadline_seconds"] = args.deadline
+    if args.verify_commits:
+        overrides["verify_commits"] = True
     if overrides and args.method == "sis":
         parser.error(
-            "--no-sim-filter/--sim-patterns/--jobs do not apply to sis"
+            "--no-sim-filter/--sim-patterns/--jobs/--deadline/"
+            "--verify-commits do not apply to sis"
         )
     stats = run_method(network, args.method, config_overrides=overrides)
+    substats = stats.get("stats") or {}
+    budget_report = substats.get("budget_report")
+    if budget_report and budget_report.get("stopped"):
+        print(
+            f"# budget stop: {budget_report['reason']} after "
+            f"{budget_report['elapsed_seconds']:.2f}s "
+            f"({budget_report['divide_calls']} divide calls)",
+            file=sys.stderr,
+        )
+    if substats.get("commits_rolled_back"):
+        print(
+            f"# {substats['commits_rolled_back']} commit(s) rolled "
+            f"back and quarantined (see --stats-json incidents)",
+            file=sys.stderr,
+        )
 
     if not args.no_verify:
         if len(network.pis) <= 24:

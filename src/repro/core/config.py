@@ -16,6 +16,7 @@ The module-level constants :data:`BASIC`, :data:`EXTENDED` and
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,6 +112,38 @@ class DivisionConfig:
     #: same snapshot/commit semantics).
     parallel_backend: str = "process"
 
+    #: Wall-clock budget for one :func:`substitute_network` run, in
+    #: seconds.  The run stops cleanly at the next pass/pair boundary
+    #: (or mid-removal-loop for a single pathological pair), keeps its
+    #: best-so-far network, and records a
+    #: :class:`~repro.resilience.budget.BudgetReport` in the stats.
+    deadline_seconds: Optional[float] = None
+
+    #: Total :func:`boolean_divide` invocations allowed per run
+    #: (``None`` = unlimited); same clean-stop semantics as the
+    #: deadline.
+    max_divide_calls: Optional[int] = None
+
+    #: Total D-algorithm backtracks allowed per run across every ATPG
+    #: call that shares the run's budget (``None`` = unlimited).
+    max_run_backtracks: Optional[int] = None
+
+    #: Transactional commits: spot-check every accepted substitution
+    #: against the pre-optimization reference and roll back +
+    #: quarantine the pair on miscompare (see
+    #: :mod:`repro.resilience.checkpoint`).
+    verify_commits: bool = False
+
+    #: With ``verify_commits``, run the exact (BDD / wide-simulation)
+    #: equivalence check every this-many commits; the others use the
+    #: cheap signature/simulation screen.
+    verify_full_every: int = 16
+
+    #: Failed speculative work batches are re-dispatched onto a fresh
+    #: process pool this many times before the shard degrades to the
+    #: in-process serial backend.
+    max_shard_retries: int = 2
+
     def __post_init__(self):
         if self.mode not in ("basic", "extended"):
             raise ValueError("mode must be 'basic' or 'extended'")
@@ -128,6 +161,19 @@ class DivisionConfig:
             raise ValueError(
                 "parallel_backend must be 'process' or 'serial'"
             )
+        if self.deadline_seconds is not None and self.deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be >= 0")
+        if self.max_divide_calls is not None and self.max_divide_calls < 0:
+            raise ValueError("max_divide_calls must be >= 0")
+        if (
+            self.max_run_backtracks is not None
+            and self.max_run_backtracks < 0
+        ):
+            raise ValueError("max_run_backtracks must be >= 0")
+        if self.verify_full_every < 1:
+            raise ValueError("verify_full_every must be >= 1")
+        if self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be >= 0")
 
 
 #: Configuration 1 of the paper's experiments.

@@ -203,6 +203,7 @@ class _RegionRemover:
         remainder_signals: List[str],
         divisor_assignment: Tuple[str, bool],
         config: DivisionConfig,
+        budget=None,
     ):
         self.circuit = circuit
         self.f_name = f_name
@@ -211,6 +212,11 @@ class _RegionRemover:
         self.remainder_signals = remainder_signals
         self.divisor_assignment = divisor_assignment
         self.config = config
+        #: Optional :class:`~repro.resilience.budget.RunBudget`; the
+        #: wall-clock deadline is honoured before every redundancy test
+        #: so one pathological region cannot overshoot it by more than
+        #: a single implication run.
+        self.budget = budget
         self.wires_removed = 0
         self.cubes_removed = 0
         #: Optional complete-don't-care oracle: called with a candidate
@@ -262,6 +268,8 @@ class _RegionRemover:
 
     def _literal_removable(self, index: int, var: int, phase: bool) -> bool:
         """Stuck-at-1 test of one literal wire of a region cube."""
+        if self.budget is not None:
+            self.budget.check_deadline()
         cube = self.region[index]
         assignments = self._base_assignments(index)
         assignments.append((self.shared[var], not phase))
@@ -278,6 +286,8 @@ class _RegionRemover:
 
     def _cube_removable(self, index: int) -> bool:
         """Stuck-at-0 test of a region cube's OR input."""
+        if self.budget is not None:
+            self.budget.check_deadline()
         cube = self.region[index]
         assignments = self._base_assignments(index)
         for v, p in cube.literals():
@@ -321,6 +331,7 @@ def boolean_divide(
     core_indices: Optional[Sequence[int]] = None,
     substitute_as: Optional[str] = None,
     circuit: Optional[Circuit] = None,
+    budget=None,
 ) -> Optional[DivisionResult]:
     """Divide node *f* by node *divisor* using RAR; None on failure.
 
@@ -330,7 +341,10 @@ def boolean_divide(
     literal should reference (the exposed core node in extended
     division); it defaults to *divisor_name*.  *circuit* lets callers
     reuse a prebuilt analysis circuit (the dividend cube gates are
-    managed by this function either way).
+    managed by this function either way).  *budget* is an optional
+    :class:`~repro.resilience.budget.RunBudget` whose deadline is
+    honoured inside the removal loop (may raise
+    :class:`~repro.resilience.budget.BudgetExhausted`).
     """
     if form not in ("sop", "pos"):
         raise ValueError("form must be 'sop' or 'pos'")
@@ -438,6 +452,7 @@ def boolean_divide(
             remainder_signals=[],
             divisor_assignment=divisor_assignment,
             config=config,
+            budget=budget,
         )
         # Remainder cubes also need gates (they are asserted to 0
         # during propagation through f's output OR).
@@ -544,6 +559,7 @@ def divide_node_pair(
     config: DivisionConfig,
     circuit: Optional[Circuit] = None,
     attempts: Optional[Sequence[Tuple[bool, str]]] = None,
+    budget=None,
 ) -> Optional[DivisionResult]:
     """Best basic division of *f* by *d* across phases and forms.
 
@@ -569,6 +585,7 @@ def divide_node_pair(
             phase=phase,
             form=form,
             circuit=circuit,
+            budget=budget,
         )
         if result is not None and result.gain > 0:
             if best is None or result.gain > best.gain:

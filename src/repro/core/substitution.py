@@ -30,6 +30,8 @@ from repro.core.extended import (
     decompose_divisor,
     decompose_divisor_pos,
 )
+from repro.resilience.budget import BudgetExhausted, BudgetReport, RunBudget
+from repro.resilience.checkpoint import CommitLedger
 
 
 @dataclasses.dataclass
@@ -71,6 +73,30 @@ class SubstitutionStats:
     #: Speculative outcomes discarded because a committed rewrite
     #: touched their dividend/divisor (re-evaluated live).
     parallel_pairs_invalidated: int = 0
+    #: D-alg searches that ran out of backtracks/deadline; their
+    #: verdicts were treated conservatively as "not redundant".
+    atpg_incomplete: int = 0
+    #: Worker-side failures the executor contained (broken pools,
+    #: worker exceptions, pickling errors).
+    worker_faults: int = 0
+    #: Failed work batches re-dispatched onto a fresh process pool.
+    shards_redispatched: int = 0
+    #: Times speculative work fell back to in-process evaluation
+    #: (exhausted shard retries, or a whole-pass speculation failure).
+    degraded_to_serial: int = 0
+    #: Commit verifications run / rolled back, and pairs quarantined,
+    #: under ``config.verify_commits``.
+    commits_verified: int = 0
+    commits_rolled_back: int = 0
+    pairs_quarantined: int = 0
+    #: Structured incident records (JSON-ready dicts) — one per
+    #: rolled-back commit; surfaces through ``--stats-json``.
+    incidents: List[Dict[str, object]] = dataclasses.field(
+        default_factory=list
+    )
+    #: Budget summary when the run carried a
+    #: :class:`~repro.resilience.budget.RunBudget` (else ``None``).
+    budget_report: Optional[BudgetReport] = None
 
     def improvement(self) -> float:
         if self.literals_before == 0:
@@ -161,6 +187,8 @@ def _try_extended(
     reference: Optional[Network],
     form: str = "sop",
     sim_filter=None,
+    budget=None,
+    ledger=None,
 ) -> bool:
     """One extended-division attempt on *f* over pooled divisors.
 
@@ -192,6 +220,8 @@ def _try_extended(
     if choice is None:
         return False
     d_name = choice.divisor_name
+    if ledger is not None and ledger.is_quarantined(f_name, d_name):
+        return False
     d_node = network.nodes[d_name]
     whole = len(choice.cube_indices) == len(
         table.divisor_cubes[d_name].cubes
@@ -203,7 +233,9 @@ def _try_extended(
         # per-divisor loop; only the decomposition case is new here.
         return False
     if whole:
-        result = boolean_divide(network, f_name, d_name, config, form=form)
+        result = boolean_divide(
+            network, f_name, d_name, config, form=form, budget=budget
+        )
         if result is None or result.gain <= 0:
             return False
         snapshot = _Snapshot(network, [f_name])
@@ -212,6 +244,13 @@ def _try_extended(
         if not _verify_ok(network, reference, config, sim_filter):
             snapshot.restore()
             _note_mutation(sim_filter, [f_name])
+            return False
+        if ledger is not None and not ledger.verify_commit(
+            network, f_name, d_name
+        ):
+            snapshot.restore()
+            _note_mutation(sim_filter, [f_name])
+            ledger.quarantine(f_name, d_name)
             return False
         stats.accepted += 1
         stats.wires_removed += result.wires_removed
@@ -234,7 +273,16 @@ def _try_extended(
             network, d_name, choice.cube_indices
         )
     snapshot.note_created(core_name)
-    result = boolean_divide(network, f_name, core_name, config, form=form)
+    try:
+        result = boolean_divide(
+            network, f_name, core_name, config, form=form, budget=budget
+        )
+    except BudgetExhausted:
+        # The divisor is already decomposed; undo before unwinding so
+        # the budget stop leaves the network in a committed state.
+        snapshot.restore()
+        _note_mutation(sim_filter, [f_name, d_name, core_name])
+        raise
     if result is None:
         snapshot.restore()
         _note_mutation(sim_filter, [f_name, d_name, core_name])
@@ -251,6 +299,13 @@ def _try_extended(
     ):
         snapshot.restore()
         _note_mutation(sim_filter, [f_name, d_name, core_name])
+        return False
+    if ledger is not None and not ledger.verify_commit(
+        network, f_name, d_name
+    ):
+        snapshot.restore()
+        _note_mutation(sim_filter, [f_name, d_name, core_name])
+        ledger.quarantine(f_name, d_name)
         return False
     stats.accepted += 1
     stats.cores_extracted += 1
@@ -278,6 +333,8 @@ def substitute_pass(
     reference: Optional[Network] = None,
     sim_filter=None,
     store=None,
+    budget=None,
+    ledger=None,
 ) -> int:
     """One sweep over all nodes; returns accepted substitutions.
 
@@ -294,9 +351,42 @@ def substitute_pass(
     speculative outcome is provably still valid, so the pass result is
     byte-identical with or without it (the deterministic commit
     protocol; see DESIGN.md).
+
+    *budget* is an optional
+    :class:`~repro.resilience.budget.RunBudget`, checked before every
+    candidate pair (and, for the deadline, inside the removal loop);
+    when it trips the pass stops cleanly between commits and returns
+    what it accepted so far.  *ledger* is an optional
+    :class:`~repro.resilience.checkpoint.CommitLedger`: every accepted
+    rewrite is verified against the pre-optimization reference, rolled
+    back on miscompare, and the pair quarantined for the rest of the
+    run.
     """
     if stats is None:
         stats = SubstitutionStats()
+    accepted_before = stats.accepted
+    try:
+        _run_pass(
+            network, config, stats, reference, sim_filter, store,
+            budget, ledger,
+        )
+    except BudgetExhausted:
+        # Clean stop: every commit so far is applied (and verified, in
+        # transactional mode); the caller reads budget.report().
+        pass
+    return stats.accepted - accepted_before
+
+
+def _run_pass(
+    network: Network,
+    config: DivisionConfig,
+    stats: SubstitutionStats,
+    reference: Optional[Network],
+    sim_filter,
+    store,
+    budget,
+    ledger,
+) -> None:
     accepted_before = stats.accepted
     n_enabled = len(enabled_attempts(config))
     names = [node.name for node in network.internal_nodes()]
@@ -332,6 +422,15 @@ def substitute_pass(
         for d_name in divisors:
             if d_name not in network.nodes:
                 continue
+            if budget is not None:
+                budget.check()
+            if ledger is not None and ledger.is_quarantined(
+                f_name, d_name
+            ):
+                # Checked before the store: a rollback restores the
+                # pre-commit node state exactly, so the stale
+                # speculative outcome would otherwise be served again.
+                continue
             outcome = None
             if store is not None:
                 # A valid speculative outcome equals what the live
@@ -350,6 +449,8 @@ def substitute_pass(
                     continue
                 stats.attempts += 1
                 stats.divide_calls += outcome.divide_calls
+                if budget is not None:
+                    budget.charge_divide_calls(outcome.divide_calls)
                 stats.variants_pruned += outcome.variants_pruned
                 result = outcome.result
             else:
@@ -364,9 +465,10 @@ def substitute_pass(
                         continue
                     stats.variants_pruned += n_enabled - len(attempts)
                 stats.attempts += 1
-                stats.divide_calls += (
-                    n_enabled if attempts is None else len(attempts)
-                )
+                calls = n_enabled if attempts is None else len(attempts)
+                stats.divide_calls += calls
+                if budget is not None:
+                    budget.charge_divide_calls(calls)
                 result = divide_node_pair(
                     network,
                     f_name,
@@ -374,6 +476,7 @@ def substitute_pass(
                     config,
                     circuit=_gdc_circuit(),
                     attempts=attempts,
+                    budget=budget,
                 )
             if result is None:
                 continue
@@ -383,6 +486,13 @@ def substitute_pass(
             if not _verify_ok(network, reference, config, sim_filter):
                 snapshot.restore()
                 _note_mutation(sim_filter, [f_name])
+                continue
+            if ledger is not None and not ledger.verify_commit(
+                network, f_name, d_name
+            ):
+                snapshot.restore()
+                _note_mutation(sim_filter, [f_name])
+                ledger.quarantine(f_name, d_name)
                 continue
             stats.accepted += 1
             stats.wires_removed += result.wires_removed
@@ -395,6 +505,8 @@ def substitute_pass(
             # divisors' gates feed the shared analysis circuit, so
             # dropping one would weaken implications for the others.
             for _ in range(4):
+                if budget is not None:
+                    budget.check()
                 divisors = _candidate_divisors(network, f_name, config)
                 if not divisors or not _try_extended(
                     network,
@@ -404,6 +516,8 @@ def substitute_pass(
                     stats,
                     reference,
                     sim_filter=sim_filter,
+                    budget=budget,
+                    ledger=ledger,
                 ):
                     break
 
@@ -419,6 +533,8 @@ def substitute_pass(
             if node.is_pi or node.is_constant() or node.cover is None:
                 continue
             for _ in range(2):
+                if budget is not None:
+                    budget.check()
                 divisors = _candidate_divisors(network, f_name, config)
                 if not divisors or not _try_extended(
                     network,
@@ -429,9 +545,10 @@ def substitute_pass(
                     reference,
                     form="pos",
                     sim_filter=sim_filter,
+                    budget=budget,
+                    ledger=ledger,
                 ):
                     break
-    return stats.accepted - accepted_before
 
 
 def substitute_network(
@@ -440,6 +557,7 @@ def substitute_network(
     reference: Optional[Network] = None,
     stats: Optional[SubstitutionStats] = None,
     n_jobs: Optional[int] = None,
+    budget=None,
 ) -> SubstitutionStats:
     """Run substitution passes to a fixpoint (the paper's "one run").
 
@@ -456,13 +574,29 @@ def substitute_network(
     (or in-process for ``parallel_backend="serial"``) and committed in
     the serial greedy order through the deterministic protocol, so the
     optimized network is byte-identical to a serial run.
+
+    *budget* is an optional
+    :class:`~repro.resilience.budget.RunBudget` shared with the caller
+    (e.g. across a multi-network flow); when it is ``None`` one is
+    built from the config's limits (``deadline_seconds``,
+    ``max_divide_calls``, ``max_run_backtracks``), if any.  A tripped
+    budget stops the run cleanly with the best-so-far network and a
+    :class:`~repro.resilience.budget.BudgetReport` in
+    ``stats.budget_report``.  With ``config.verify_commits`` every
+    accepted rewrite is verified against a pre-run reference copy,
+    rolled back on miscompare, and the offending pair quarantined
+    (incidents land in ``stats.incidents``).
     """
     if n_jobs is not None and n_jobs != config.n_jobs:
         config = dataclasses.replace(config, n_jobs=n_jobs)
     if stats is None:
         stats = SubstitutionStats()
+    if budget is None:
+        budget = RunBudget.from_config(config)
     stats.literals_before += network_literals(network)
-    if config.verify_with_simulation and reference is None:
+    if (
+        config.verify_with_simulation or config.verify_commits
+    ) and reference is None:
         reference = network.copy("reference")
     start = time.perf_counter()
     sim_filter = None
@@ -473,6 +607,9 @@ def substitute_network(
         from repro.sim.filter import DivisorFilter
 
         sim_filter = DivisorFilter(network, config)
+    ledger = None
+    if config.verify_commits:
+        ledger = CommitLedger(reference, config, sim_filter)
     engine = None
     if config.n_jobs > 1:
         # Lazy for the same circularity reason as the filter above.
@@ -480,6 +617,8 @@ def substitute_network(
 
         engine = SpeculativeEngine(config)
     for _ in range(config.max_passes):
+        if budget is not None and budget.exhausted():
+            break
         store = None
         if engine is not None:
             store = engine.precompute(network, sim_filter=sim_filter)
@@ -491,6 +630,8 @@ def substitute_network(
                 reference,
                 sim_filter=sim_filter,
                 store=store,
+                budget=budget,
+                ledger=ledger,
             )
             == 0
         ):
@@ -511,6 +652,17 @@ def substitute_network(
         stats.parallel_pairs_evaluated += engine.pairs_evaluated
         stats.parallel_pairs_reused += engine.reused
         stats.parallel_pairs_invalidated += engine.invalidated
+        stats.worker_faults += engine.worker_faults
+        stats.shards_redispatched += engine.shards_redispatched
+        stats.degraded_to_serial += engine.degraded_to_serial
+    if ledger is not None:
+        stats.commits_verified += ledger.verified
+        stats.commits_rolled_back += ledger.rolled_back
+        stats.pairs_quarantined += len(ledger.quarantined)
+        stats.incidents.extend(ledger.incidents)
+    if budget is not None:
+        stats.atpg_incomplete += budget.atpg_incomplete
+        stats.budget_report = budget.report()
     stats.cpu_seconds += time.perf_counter() - start
     stats.literals_after += network_literals(network)
     return stats

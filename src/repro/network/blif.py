@@ -9,39 +9,95 @@ paper's experiments are combinational).
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, TextIO, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, Union
 
 from repro.twolevel.cube import Cube
 from repro.twolevel.cover import Cover
 from repro.network.network import Network
 
 
-def _logical_lines(stream: Iterable[str]) -> Iterable[str]:
-    """Strip comments and join ``\\`` continuations."""
+class BlifParseError(ValueError):
+    """Malformed BLIF, located at a file and line.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    handlers keep working; the message is prefixed ``path:line:`` (the
+    line is the *physical* line where the offending construct starts,
+    accounting for ``\\`` continuations) and the raw ``path``/``line``
+    ride along as attributes for programmatic use.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: Optional[str] = None,
+        line: Optional[int] = None,
+    ):
+        location = path or "<blif>"
+        if line is not None:
+            location = f"{location}:{line}"
+        super().__init__(f"{location}: {message}")
+        self.path = path
+        self.line = line
+
+
+def _logical_lines(
+    stream: Iterable[str], path: Optional[str]
+) -> Iterator[Tuple[int, str]]:
+    """Strip comments, join ``\\`` continuations, number the lines.
+
+    Yields ``(lineno, text)`` where *lineno* is the physical line the
+    logical line starts on.  A file ending inside a continuation is
+    truncated input and raises :class:`BlifParseError`.
+    """
     pending = ""
-    for raw in stream:
+    start = 0
+    lineno = 0
+    for lineno, raw in enumerate(stream, start=1):
         line = raw.split("#", 1)[0].rstrip("\n")
         if line.endswith("\\"):
+            if not pending:
+                start = lineno
             pending += line[:-1] + " "
             continue
-        line = (pending + line).strip()
+        if pending:
+            line = (pending + line).strip()
+            yield_at = start
+        else:
+            line = line.strip()
+            yield_at = lineno
         pending = ""
         if line:
-            yield line
-    if pending.strip():
-        yield pending.strip()
+            yield yield_at, line
+    if pending:
+        raise BlifParseError(
+            "file truncated inside a '\\' line continuation",
+            path,
+            start,
+        )
 
 
-def read_blif(source: Union[str, TextIO]) -> Network:
-    """Parse BLIF text (a string or a file object) into a Network."""
+def read_blif(
+    source: Union[str, TextIO], path: Optional[str] = None
+) -> Network:
+    """Parse BLIF text (a string or a file object) into a Network.
+
+    Malformed input raises :class:`BlifParseError` naming the file
+    (*path*, defaulting to the stream's ``name`` when it has one) and
+    the line of the offending construct.
+    """
     if isinstance(source, str):
         source = io.StringIO(source)
+    if path is None:
+        path = getattr(source, "name", None)
 
     network = Network()
-    outputs: List[str] = []
+    outputs: List[Tuple[int, str]] = []
     pending_names: List[str] = []
-    pending_rows: List[str] = []
-    declared_inputs: List[str] = []
+    names_line = 0
+    pending_rows: List[Tuple[int, str]] = []
+
+    def fail(message: str, line: int) -> None:
+        raise BlifParseError(message, path, line)
 
     def flush_names() -> None:
         if not pending_names:
@@ -49,17 +105,49 @@ def read_blif(source: Union[str, TextIO]) -> Network:
         *fanins, target = pending_names
         cubes = []
         is_one = False
-        for row in pending_rows:
+        for row_line, row in pending_rows:
             parts = row.split()
             if len(parts) == 1:
                 # Constant row: output value only.
+                if fanins:
+                    fail(
+                        f"constant row {parts[0]!r} in a .names with "
+                        f"{len(fanins)} input(s) (expected "
+                        "'<pattern> <value>')",
+                        row_line,
+                    )
                 if parts[0] == "1":
                     is_one = True
+                elif parts[0] != "0":
+                    fail(
+                        f"bad constant row {parts[0]!r} "
+                        "(expected '0' or '1')",
+                        row_line,
+                    )
                 continue
+            if len(parts) != 2:
+                fail(
+                    f"malformed .names row {row!r} (expected "
+                    "'<pattern> <value>')",
+                    row_line,
+                )
             pattern, value = parts
+            if value == "0":
+                fail(
+                    "off-set .names rows (output 0) are not supported",
+                    row_line,
+                )
             if value != "1":
-                raise ValueError(
-                    "off-set .names rows (output 0) are not supported"
+                fail(
+                    f"bad .names row output {value!r} "
+                    "(expected '0' or '1')",
+                    row_line,
+                )
+            if len(pattern) != len(fanins):
+                fail(
+                    f"cover row {pattern!r} has {len(pattern)} "
+                    f"column(s) for {len(fanins)} input(s)",
+                    row_line,
                 )
             literals = []
             for i, ch in enumerate(pattern):
@@ -68,18 +156,27 @@ def read_blif(source: Union[str, TextIO]) -> Network:
                 elif ch == "0":
                     literals.append((i, False))
                 elif ch != "-":
-                    raise ValueError(f"bad cover character {ch!r}")
+                    fail(f"bad cover character {ch!r}", row_line)
             cubes.append(Cube.from_literals(literals))
         if is_one:
             cover = Cover.one(len(fanins))
         else:
             cover = Cover(len(fanins), cubes)
-        _ensure_declared(network, fanins)
-        network.add_node(target, fanins, cover)
+        for name in fanins:
+            if name not in network.nodes:
+                fail(
+                    f".names uses {name!r} before it is defined "
+                    "(forward references are not supported)",
+                    names_line,
+                )
+        try:
+            network.add_node(target, fanins, cover)
+        except ValueError as exc:
+            fail(str(exc), names_line)
         pending_names.clear()
         pending_rows.clear()
 
-    for line in _logical_lines(source):
+    for lineno, line in _logical_lines(source, path):
         tokens = line.split()
         keyword = tokens[0]
         if keyword == ".model":
@@ -87,37 +184,38 @@ def read_blif(source: Union[str, TextIO]) -> Network:
         elif keyword == ".inputs":
             flush_names()
             for name in tokens[1:]:
-                declared_inputs.append(name)
-                network.add_pi(name)
+                try:
+                    network.add_pi(name)
+                except ValueError as exc:
+                    fail(str(exc), lineno)
         elif keyword == ".outputs":
             flush_names()
-            outputs.extend(tokens[1:])
+            outputs.extend((lineno, name) for name in tokens[1:])
         elif keyword == ".names":
             flush_names()
+            if len(tokens) < 2:
+                fail(".names with no output signal", lineno)
             pending_names.extend(tokens[1:])
+            names_line = lineno
         elif keyword == ".end":
             flush_names()
             break
         elif keyword.startswith("."):
-            raise ValueError(f"unsupported BLIF construct {keyword!r}")
+            fail(f"unsupported BLIF construct {keyword!r}", lineno)
         else:
-            pending_rows.append(line)
+            if not pending_names:
+                fail(
+                    f"cover row {line!r} outside any .names block",
+                    lineno,
+                )
+            pending_rows.append((lineno, line))
     flush_names()
 
-    for name in outputs:
+    for lineno, name in outputs:
         if name not in network.nodes:
-            raise ValueError(f"output {name!r} was never defined")
+            fail(f"output {name!r} was never defined", lineno)
         network.add_po(name)
     return network
-
-
-def _ensure_declared(network: Network, names: List[str]) -> None:
-    for name in names:
-        if name not in network.nodes:
-            raise ValueError(
-                f".names uses {name!r} before it is defined "
-                "(forward references are not supported)"
-            )
 
 
 def write_blif(network: Network, stream: TextIO) -> None:

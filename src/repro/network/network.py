@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.twolevel.cube import Cube
@@ -49,7 +48,7 @@ class Network:
         self.name = name
         self.nodes: Dict[str, Node] = {}
         self.pos: List[str] = []
-        self._name_counter = itertools.count()
+        self._name_counter = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -86,7 +85,8 @@ class Network:
 
     def fresh_name(self, prefix: str = "n") -> str:
         while True:
-            name = f"{prefix}{next(self._name_counter)}"
+            name = f"{prefix}{self._name_counter}"
+            self._name_counter += 1
             if name not in self.nodes:
                 return name
 
@@ -353,9 +353,10 @@ class Network:
             duplicate.nodes[node.name] = node.copy()
         duplicate.pos = list(self.pos)
         # Keep fresh-name generation ahead of anything already present.
-        duplicate._name_counter = itertools.count(
-            next(self._name_counter)
-        )
+        # Reading the counter must not advance it: taking a copy (e.g.
+        # the verification reference) would otherwise shift every name
+        # generated afterwards in the source network.
+        duplicate._name_counter = self._name_counter
         return duplicate
 
     def to_str(self) -> str:

@@ -43,6 +43,7 @@ from repro.core.config import DivisionConfig
 from repro.network.network import Network
 from repro.parallel.executor import make_executor
 from repro.parallel.worker import PairOutcome, make_payload
+from repro.resilience import inject
 
 Pair = Tuple[str, str]
 
@@ -187,6 +188,14 @@ class SpeculativeEngine:
         self.pairs_evaluated = 0
         self.reused = 0
         self.invalidated = 0
+        #: Fault-containment traffic (see the executor's retry ladder).
+        self.worker_faults = 0
+        self.shards_redispatched = 0
+        self.degraded_to_serial = 0
+        #: Passes whose speculation was abandoned outright because the
+        #: executor itself failed; the pass then evaluates every pair
+        #: live (the serial path), so only throughput is lost.
+        self.speculation_failures = 0
         self._stores: List[SpeculativeStore] = []
 
     def precompute(
@@ -206,17 +215,33 @@ class SpeculativeEngine:
             sim_filter.sim.snapshot() if sim_filter is not None else None
         )
         payload = make_payload(network, config, sim_snapshot)
-        executor = make_executor(
-            payload, config.n_jobs, config.parallel_backend
-        )
+        batches = shard_pairs(pairs, config.batch_size)
         try:
-            batches = shard_pairs(pairs, config.batch_size)
-            outcomes = executor.evaluate(batches)
-        finally:
-            executor.close()
+            # The with-block guarantees the pool is shut down (queued
+            # futures cancelled) even when evaluation raises, so an
+            # engine error can never leak live worker processes.
+            with make_executor(
+                payload,
+                config.n_jobs,
+                config.parallel_backend,
+                injection=inject.active(),
+                max_retries=config.max_shard_retries,
+            ) as executor:
+                outcomes = executor.evaluate(batches)
+                self.jobs = getattr(executor, "workers", config.n_jobs)
+                self.worker_faults += executor.worker_faults
+                self.shards_redispatched += executor.shards_redispatched
+                self.degraded_to_serial += executor.degraded_to_serial
+        except Exception:
+            # Final containment rung: speculation for this pass is
+            # abandoned; the store stays empty and substitute_pass
+            # evaluates every pair live, exactly as a serial run.
+            self.speculation_failures += 1
+            self.worker_faults += 1
+            self.degraded_to_serial += 1
+            return store
         for outcome in outcomes:
             store.record(outcome)
-        self.jobs = getattr(executor, "workers", config.n_jobs)
         self.batches += len(batches)
         self.pairs_evaluated += len(outcomes)
         return store

@@ -12,11 +12,32 @@ them never knows which one it is talking to:
   a private unpickled copy.  Used for ``parallel_backend="serial"``
   (debugging, commit-protocol tests) and as the automatic fallback
   when a process pool cannot be spawned.
+
+Fault containment (the process backend's retry ladder):
+
+1. every future is collected under ``try``; a lost worker, a broken
+   pool, a pickling error or a worker-raised exception marks just that
+   *shard* (batch) as failed and counts a ``worker_fault``;
+2. failed shards are re-dispatched onto a **fresh** pool up to
+   ``max_retries`` times (``shards_redispatched``) — a crashed
+   ``ProcessPoolExecutor`` poisons every outstanding future, so the
+   pool is always rebuilt before a retry;
+3. shards that keep failing are evaluated in-process on a private
+   :class:`~repro.parallel.worker.WorkerContext`
+   (``degraded_to_serial``), which cannot lose a process.
+
+Because speculative outcomes are *hints* — the commit protocol
+validates each one against the live network — any recovery path yields
+the same optimized network as a serial run; only the stats differ.
+
+Both executors are context managers; ``__exit__`` shuts the backend
+down (cancelling still-queued futures when an exception is unwinding)
+so an error inside the engine can never leak a live process pool.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.parallel.worker import (
     PairOutcome,
@@ -32,65 +53,167 @@ class SerialExecutor:
     """In-process executor over a private snapshot copy."""
 
     workers = 1
+    worker_faults = 0
+    shards_redispatched = 0
+    degraded_to_serial = 0
 
-    def __init__(self, payload: bytes):
-        self._context = WorkerContext(payload)
+    def __init__(self, payload: bytes, injection=None):
+        self._context = WorkerContext(payload, injection=injection)
 
     def evaluate(
         self, batches: Sequence[Sequence[Pair]]
     ) -> List[PairOutcome]:
         out: List[PairOutcome] = []
-        for batch in batches:
-            out.extend(self._context.evaluate(batch))
+        for index, batch in enumerate(batches):
+            out.extend(self._context.evaluate(batch, batch_index=index))
         return out
 
-    def close(self) -> None:
+    def close(self, cancel: bool = False) -> None:
         self._context = None
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(cancel=exc_type is not None)
 
 
 class ProcessExecutor:
-    """Process-pool executor; one snapshot unpickle per worker."""
+    """Process-pool executor; one snapshot unpickle per worker.
 
-    def __init__(self, payload: bytes, n_jobs: int):
+    Failed shards climb the retry ladder described in the module doc.
+    *injection* (tests only) is forwarded to the workers through the
+    pool initializer; a transient plan (``persistent=False``) is
+    disarmed when the pool is rebuilt, so a redispatch models recovery
+    from a one-off fault.
+    """
+
+    def __init__(
+        self,
+        payload: bytes,
+        n_jobs: int,
+        injection=None,
+        max_retries: int = 2,
+    ):
+        self.workers = n_jobs
+        self.max_retries = max_retries
+        self.worker_faults = 0
+        self.shards_redispatched = 0
+        self.degraded_to_serial = 0
+        self._payload = payload
+        self._injection = injection
+        self._pool = self._spawn_pool()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_pool(self):
         # Imported lazily so the serial backend works even where
         # multiprocessing is unavailable (restricted sandboxes).
         from concurrent.futures import ProcessPoolExecutor
 
-        self.workers = n_jobs
-        self._pool = ProcessPoolExecutor(
-            max_workers=n_jobs,
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
             initializer=_pool_init,
-            initargs=(payload,),
+            initargs=(self._payload, self._injection),
         )
+
+    def _rebuild_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
+        if self._injection is not None and not self._injection.persistent:
+            self._injection = None
+        self._pool = self._spawn_pool()
+
+    def close(self, cancel: bool = False) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=cancel)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(cancel=exc_type is not None)
+
+    # ------------------------------------------------------------------
+    # Evaluation with the retry ladder
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        pending: Dict[int, List[Pair]],
+        results: Dict[int, List[PairOutcome]],
+    ) -> List[int]:
+        """Submit *pending* shards; return the indices that failed."""
+        futures = {
+            index: self._pool.submit(_pool_evaluate, index, pairs)
+            for index, pairs in sorted(pending.items())
+        }
+        failed: List[int] = []
+        for index, future in futures.items():
+            try:
+                results[index] = future.result()
+            except Exception:
+                # BrokenProcessPool, PicklingError, or an exception the
+                # worker raised: contain it to this shard.
+                self.worker_faults += 1
+                failed.append(index)
+        return failed
 
     def evaluate(
         self, batches: Sequence[Sequence[Pair]]
     ) -> List[PairOutcome]:
-        futures = [
-            self._pool.submit(_pool_evaluate, list(batch))
-            for batch in batches
-        ]
-        # Collection order is irrelevant for determinism — outcomes are
-        # keyed by pair and committed in serial greedy order — but
-        # iterating submission order keeps failure attribution simple.
+        pending = {
+            index: list(batch) for index, batch in enumerate(batches)
+        }
+        results: Dict[int, List[PairOutcome]] = {}
+        failed = self._dispatch(pending, results)
+        retries = 0
+        while failed and retries < self.max_retries:
+            retries += 1
+            self.shards_redispatched += len(failed)
+            try:
+                self._rebuild_pool()
+            except (ImportError, OSError):
+                break  # cannot get a fresh pool: go straight to rung 3
+            failed = self._dispatch(
+                {index: pending[index] for index in failed}, results
+            )
+        if failed:
+            # Rung 3: evaluate the stubborn shards in-process.  The
+            # injection plan rides along — its destructive hooks are
+            # pid-guarded and cannot fire in the parent.
+            self.degraded_to_serial += 1
+            fallback = WorkerContext(
+                self._payload, injection=self._injection
+            )
+            for index in sorted(failed):
+                results[index] = fallback.evaluate(
+                    pending[index], batch_index=index
+                )
         out: List[PairOutcome] = []
-        for future in futures:
-            out.extend(future.result())
+        for index in sorted(results):
+            out.extend(results[index])
         return out
 
-    def close(self) -> None:
-        self._pool.shutdown()
 
-
-def make_executor(payload: bytes, n_jobs: int, backend: str):
+def make_executor(
+    payload: bytes,
+    n_jobs: int,
+    backend: str,
+    injection=None,
+    max_retries: int = 2,
+):
     """Build the configured executor over a snapshot *payload*."""
     if backend == "serial" or n_jobs == 1:
-        return SerialExecutor(payload)
+        return SerialExecutor(payload, injection=injection)
     if backend == "process":
         try:
-            return ProcessExecutor(payload, n_jobs)
+            return ProcessExecutor(
+                payload, n_jobs, injection=injection, max_retries=max_retries
+            )
         except (ImportError, OSError):
             # No usable multiprocessing (e.g. sandboxed /dev/shm):
             # degrade to the in-process engine, same results.
-            return SerialExecutor(payload)
+            return SerialExecutor(payload, injection=injection)
     raise ValueError(f"unknown parallel backend {backend!r}")

@@ -27,6 +27,7 @@ from repro.core.division import (
     evaluate_division,
 )
 from repro.network.network import Network
+from repro.resilience import inject
 from repro.sim.filter import DivisorFilter
 from repro.sim.signature import SignatureSimulator
 
@@ -51,12 +52,19 @@ class PairOutcome:
 
 
 class WorkerContext:
-    """Per-process evaluation state: frozen network, config, filter."""
+    """Per-process evaluation state: frozen network, config, filter.
 
-    def __init__(self, payload: bytes):
+    *injection* is an optional test-only
+    :class:`~repro.resilience.inject.InjectionPlan` whose hooks fire on
+    exact batch indices (see :mod:`repro.resilience.inject`); it is
+    ``None`` in every production path.
+    """
+
+    def __init__(self, payload: bytes, injection=None):
         network, config, sim_snapshot = pickle.loads(payload)
         self.network: Network = network
         self.config: DivisionConfig = config
+        self.injection = injection
         self.filter: Optional[DivisorFilter] = None
         if sim_snapshot is not None:
             sim = SignatureSimulator.from_snapshot(network, sim_snapshot)
@@ -67,8 +75,9 @@ class WorkerContext:
         self._circuits: Dict[str, object] = {}
 
     def evaluate(
-        self, pairs: Sequence[Tuple[str, str]]
+        self, pairs: Sequence[Tuple[str, str]], batch_index: int = 0
     ) -> List[PairOutcome]:
+        inject.fire_batch_hooks(self.injection, batch_index)
         network, config = self.network, self.config
         out: List[PairOutcome] = []
         for f_name, d_name in pairs:
@@ -112,6 +121,7 @@ class WorkerContext:
                     result,
                 )
             )
+        inject.corrupt_outcomes(self.injection, batch_index, out)
         return out
 
 
@@ -132,11 +142,13 @@ def make_payload(
 _CONTEXT: Optional[WorkerContext] = None
 
 
-def _pool_init(payload: bytes) -> None:
+def _pool_init(payload: bytes, injection=None) -> None:
     global _CONTEXT
-    _CONTEXT = WorkerContext(payload)
+    _CONTEXT = WorkerContext(payload, injection=injection)
 
 
-def _pool_evaluate(pairs: Sequence[Tuple[str, str]]) -> List[PairOutcome]:
+def _pool_evaluate(
+    batch_index: int, pairs: Sequence[Tuple[str, str]]
+) -> List[PairOutcome]:
     assert _CONTEXT is not None, "worker used before initialization"
-    return _CONTEXT.evaluate(pairs)
+    return _CONTEXT.evaluate(pairs, batch_index=batch_index)

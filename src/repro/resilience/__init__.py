@@ -1,0 +1,37 @@
+"""Run governance: budgets, fault containment, verified checkpoints.
+
+Long substitution runs must degrade gracefully instead of crashing or
+silently corrupting the network (the contract ABC-style resub engines
+enforce with verify-after-optimize spot checks).  This package holds
+the three pillars:
+
+* :mod:`repro.resilience.budget` — :class:`RunBudget`: wall-clock
+  deadline plus total divide-call and ATPG-backtrack caps, checked at
+  pass/pair/D-alg granularity so any run stops cleanly with its
+  best-so-far network and a :class:`BudgetReport` in the statistics.
+* :mod:`repro.resilience.checkpoint` — :class:`CommitLedger`: opt-in
+  transactional commits; every accepted substitution is spot-checked
+  against the pre-optimization reference (full exact check every K
+  commits), and a miscompare rolls the commit back and quarantines the
+  (dividend, divisor) pair for the rest of the run.
+* :mod:`repro.resilience.inject` — the deterministic fault-injection
+  hooks (kill-worker, worker exception, slow worker, corrupt result)
+  used only by the test harness, so every recovery path in
+  :mod:`repro.parallel` is exercised in CI.
+"""
+
+from repro.resilience.budget import (
+    BudgetExhausted,
+    BudgetReport,
+    RunBudget,
+)
+from repro.resilience.checkpoint import CommitLedger
+from repro.resilience.inject import InjectionPlan
+
+__all__ = [
+    "BudgetExhausted",
+    "BudgetReport",
+    "RunBudget",
+    "CommitLedger",
+    "InjectionPlan",
+]

@@ -1,0 +1,119 @@
+"""Verified checkpoints: transactional commits with rollback.
+
+With ``DivisionConfig.verify_commits`` the substitution loop treats
+every accepted rewrite as a transaction: the touched nodes are
+snapshotted (the loop's existing undo buffer), the rewrite is applied,
+and the :class:`CommitLedger` spot-checks the whole network against the
+pre-optimization reference before the commit is kept.  The spot check
+is the cheap maintained-signature / random-simulation screen
+(:func:`~repro.network.verify.simulate_equivalent_prescreened`); every
+``verify_full_every``-th commit is instead checked *exactly* (BDD
+equivalence for networks with few inputs, a much wider random screen
+otherwise).
+
+A miscompare rolls the commit back, quarantines the (dividend,
+divisor) pair for the rest of the run — the pair is never evaluated or
+served from the speculative store again — and appends a structured
+incident record (a JSON-ready dict) that surfaces through
+``SubstitutionStats.incidents`` and the CLI's ``--stats-json``.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.network import Network
+from repro.network.verify import (
+    networks_equivalent,
+    simulate_equivalent,
+    simulate_equivalent_prescreened,
+)
+
+logger = logging.getLogger("repro.resilience")
+
+Pair = Tuple[str, str]
+
+#: PI count up to which the periodic full check builds exact BDDs;
+#: wider networks fall back to a high-pattern random screen.
+_EXACT_PI_LIMIT = 24
+
+
+class CommitLedger:
+    """Commit verification, rollback bookkeeping, and quarantine.
+
+    The ledger never mutates the network itself — the substitution
+    loop owns the undo buffer and calls :meth:`quarantine` after it has
+    restored the snapshot, so the ledger's counters always describe
+    completed rollbacks.
+    """
+
+    def __init__(self, reference: Network, config, sim_filter=None):
+        self.reference = reference
+        self.config = config
+        self.sim_filter = sim_filter
+        self.quarantined: Set[Pair] = set()
+        self.incidents: List[Dict[str, object]] = []
+        #: Commits seen (drives the every-K full-check cadence).
+        self.commits = 0
+        #: Verification checks actually run.
+        self.verified = 0
+        #: Commits rolled back after a failed check.
+        self.rolled_back = 0
+        self._last_check = "none"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_quarantined(self, f_name: str, d_name: str) -> bool:
+        return (f_name, d_name) in self.quarantined
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify_commit(
+        self, network: Network, f_name: str, d_name: str
+    ) -> bool:
+        """Check the just-applied commit; False means roll it back."""
+        self.commits += 1
+        self.verified += 1
+        if self.commits % self.config.verify_full_every == 0:
+            self._last_check = "exact"
+            return self._full_check(network)
+        self._last_check = "simulation"
+        sim = self.sim_filter.sim if self.sim_filter is not None else None
+        return simulate_equivalent_prescreened(
+            self.reference, network, sim
+        )
+
+    def _full_check(self, network: Network) -> bool:
+        if len(network.pis) <= _EXACT_PI_LIMIT:
+            return networks_equivalent(self.reference, network)
+        return simulate_equivalent(self.reference, network, patterns=2048)
+
+    # ------------------------------------------------------------------
+    # Rollback bookkeeping
+    # ------------------------------------------------------------------
+    def quarantine(
+        self, f_name: str, d_name: str, detail: Optional[str] = None
+    ) -> None:
+        """Record a completed rollback and bar the pair for the run."""
+        self.rolled_back += 1
+        self.quarantined.add((f_name, d_name))
+        incident: Dict[str, object] = {
+            "kind": "rolled_back_commit",
+            "dividend": f_name,
+            "divisor": d_name,
+            "commit_index": self.commits,
+            "check": self._last_check,
+        }
+        if detail:
+            incident["detail"] = detail
+        self.incidents.append(incident)
+        logger.error(
+            "commit verification failed (%s check): rolled back and "
+            "quarantined dividend=%s divisor=%s",
+            self._last_check,
+            f_name,
+            d_name,
+        )

@@ -94,6 +94,7 @@ def run_method(
     network: Network,
     method: str,
     config_overrides: Optional[Dict[str, object]] = None,
+    budget=None,
 ) -> Dict[str, object]:
     """Apply one substitution method in place; returns lit/cpu stats
     (plus the full :class:`SubstitutionStats` under ``"stats"`` for the
@@ -102,16 +103,22 @@ def run_method(
     *config_overrides* replaces fields of the method's base
     :class:`DivisionConfig` (e.g. ``{"enable_sim_filter": False}``);
     it is rejected for methods without one (``"sis"``, ad-hoc
-    registrations in :data:`METHODS`).
+    registrations in :data:`METHODS`).  *budget* is an optional
+    :class:`~repro.resilience.budget.RunBudget` shared with the run —
+    pass one to spread a single deadline over several calls (also
+    rejected for configless methods).
     """
-    if config_overrides:
+    if config_overrides or budget is not None:
         base = METHOD_CONFIGS.get(method)
         if base is None:
             raise ValueError(
                 f"method {method!r} takes no DivisionConfig overrides"
             )
-        config = dataclasses.replace(base, **config_overrides)
-        runner: Callable[[Network], object] = _rar_method(config)
+        config = dataclasses.replace(base, **(config_overrides or {}))
+
+        def runner(net: Network, config=config):
+            return substitute_network(net, config, budget=budget)
+
     else:
         runner = METHODS[method]
     start = time.perf_counter()

@@ -1,0 +1,97 @@
+"""Budgeted D-alg: out-of-budget verdicts must stay conservative.
+
+The regression locked in here: a D-alg search that runs out of budget
+reports ``complete=False`` and its ``None`` redundancy verdict is
+treated as *not redundant* everywhere a wire removal hangs on it —
+keeping a removable wire is safe, removing a needed one is not.
+"""
+
+from repro.atpg.dalg import generate_test, prove_redundant
+from repro.atpg.fault import StuckAtFault
+from repro.atpg.redundancy import (
+    redundancy_removal,
+    wire_is_redundant_exact,
+)
+from repro.resilience.budget import RunBudget
+from tests.atpg.test_dalg import demo
+
+#: The demo circuit's provably redundant fault (b' literal of g2).
+REDUNDANT = StuckAtFault("g2", 1, True)
+
+
+def _expired_budget() -> RunBudget:
+    """A budget whose deadline has already passed (fake clock)."""
+    return RunBudget(deadline_seconds=0.0, clock=lambda: 0.0)
+
+
+class TestBudgetedSearch:
+    def test_ample_budget_matches_unbudgeted(self):
+        budget = RunBudget(max_backtracks=10**6)
+        verdict = prove_redundant(demo(), REDUNDANT, {"out"}, budget=budget)
+        assert verdict is True
+        assert budget.backtracks >= 0
+        assert budget.atpg_incomplete == 0
+
+    def test_expired_deadline_aborts_incomplete(self):
+        budget = _expired_budget()
+        result = generate_test(demo(), REDUNDANT, {"out"}, budget=budget)
+        assert result.test is None
+        assert not result.complete
+        assert budget.atpg_incomplete == 1
+
+    def test_backtracks_are_charged(self):
+        budget = RunBudget(max_backtracks=10**6)
+        result = generate_test(demo(), REDUNDANT, {"out"}, budget=budget)
+        assert budget.backtracks == result.backtracks
+
+    def test_budget_clamps_per_call_limit(self):
+        budget = RunBudget(max_backtracks=0)
+        # The per-call default (20000) is clamped to the 0 the run has
+        # left, so the search cannot spend what the budget doesn't have.
+        result = generate_test(demo(), REDUNDANT, {"out"}, budget=budget)
+        if not result.complete:
+            assert (
+                prove_redundant(
+                    demo(), REDUNDANT, {"out"}, budget=RunBudget(
+                        max_backtracks=0
+                    )
+                )
+                is None
+            )
+
+
+class TestConservativeDirection:
+    def test_out_of_budget_is_not_redundant(self):
+        # The fault IS redundant, but the budget ran out before the
+        # proof finished: the only safe answer is "not redundant".
+        assert wire_is_redundant_exact(
+            demo(), REDUNDANT, {"out"}, budget=_expired_budget()
+        ) is False
+
+    def test_ample_budget_proves_redundant(self):
+        assert wire_is_redundant_exact(
+            demo(),
+            REDUNDANT,
+            {"out"},
+            budget=RunBudget(max_backtracks=10**6),
+        ) is True
+
+    def test_exact_removal_skips_wire_out_of_budget(self):
+        # With an expired budget the exact check can never fire, so
+        # exact removal degenerates to the implication-only removal —
+        # fewer wires removed, never a wrong one.
+        budgeted = demo()
+        removed_budgeted = redundancy_removal(
+            budgeted, {"out"}, exact=True, budget=_expired_budget()
+        )
+        baseline = demo()
+        removed_plain = redundancy_removal(baseline, {"out"})
+        assert removed_budgeted == removed_plain
+
+    def test_exact_removal_with_budget_removes_more_eventually(self):
+        # Sanity in the other direction: with room to search, the
+        # exact mode proves (at least) everything implications prove.
+        loose = demo()
+        removed = redundancy_removal(loose, {"out"}, exact=True)
+        plain = demo()
+        assert removed >= redundancy_removal(plain, {"out"})

@@ -1,0 +1,100 @@
+"""Malformed-BLIF corpus: every file raises BlifParseError with location."""
+
+import pathlib
+
+import pytest
+
+from repro.network.blif import BlifParseError, read_blif
+
+CORPUS = pathlib.Path(__file__).parent / "malformed_blif"
+
+# (file, expected line, fragment expected in the message)
+CASES = [
+    ("truncated_continuation.blif", 4, "line continuation"),
+    ("bad_row_width.blif", 5, "column(s)"),
+    ("bad_cover_char.blif", 5, "bad cover character"),
+    ("offset_row.blif", 5, "off-set"),
+    ("bad_output_value.blif", 5, "row output"),
+    ("names_no_target.blif", 4, "no output signal"),
+    ("row_outside_names.blif", 4, "outside any .names"),
+    ("duplicate_node.blif", 6, "f"),
+    ("duplicate_input.blif", 2, "a"),
+    ("constant_row_with_inputs.blif", 5, "constant row"),
+    ("bad_constant_row.blif", 5, "bad constant row"),
+    ("extra_row_tokens.blif", 5, "malformed .names row"),
+    ("unsupported_construct.blif", 4, ".latch"),
+    ("undefined_output.blif", 3, "never defined"),
+    ("forward_reference.blif", 4, "forward reference"),
+]
+
+
+def test_corpus_is_fully_covered():
+    on_disk = {p.name for p in CORPUS.glob("*.blif")}
+    assert on_disk == {name for name, _, _ in CASES}
+
+
+@pytest.mark.parametrize("name,line,fragment", CASES)
+def test_malformed_file_is_located(name, line, fragment):
+    path = CORPUS / name
+    with open(path) as stream:
+        with pytest.raises(BlifParseError) as excinfo:
+            read_blif(stream)
+    err = excinfo.value
+    assert err.path == str(path)
+    assert err.line == line
+    assert str(err).startswith(f"{path}:{line}: ")
+    assert fragment in str(err)
+
+
+@pytest.mark.parametrize("name,line,fragment", CASES)
+def test_malformed_is_a_value_error(name, line, fragment):
+    with open(CORPUS / name) as stream:
+        with pytest.raises(ValueError):
+            read_blif(stream)
+
+
+def test_explicit_path_overrides_stream_name():
+    with open(CORPUS / "offset_row.blif") as stream:
+        with pytest.raises(BlifParseError) as excinfo:
+            read_blif(stream, path="design.blif")
+    assert excinfo.value.path == "design.blif"
+    assert str(excinfo.value).startswith("design.blif:5: ")
+
+
+def test_string_source_reports_anonymous_location():
+    with pytest.raises(BlifParseError) as excinfo:
+        read_blif(".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n")
+    assert excinfo.value.path is None
+    assert str(excinfo.value).startswith("<blif>:4: ")
+
+
+def test_continuation_errors_point_at_the_starting_line():
+    # The bad row spans physical lines 5-6; the error names line 5.
+    text = (
+        ".model m\n"
+        ".inputs a b\n"
+        ".outputs f\n"
+        ".names a b f\n"
+        "1\\\n"
+        "1 2\n"
+        ".end\n"
+    )
+    with pytest.raises(BlifParseError) as excinfo:
+        read_blif(text)
+    assert excinfo.value.line == 5
+
+
+def test_comment_only_and_blank_lines_do_not_shift_numbering():
+    text = (
+        "# a comment\n"
+        "\n"
+        ".model m\n"
+        ".inputs a\n"
+        ".outputs f\n"
+        ".names a f\n"
+        "1 0\n"
+        ".end\n"
+    )
+    with pytest.raises(BlifParseError) as excinfo:
+        read_blif(text)
+    assert excinfo.value.line == 7

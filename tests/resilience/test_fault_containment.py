@@ -1,0 +1,117 @@
+"""Fault-injection tests of the executor's containment ladder.
+
+Each test installs a deterministic
+:class:`~repro.resilience.inject.InjectionPlan`, runs a parallel
+substitution, and checks two things: the recovery path fired (visible
+in the stats) and the output is *byte-identical* to a serial run —
+faults may cost throughput, never results.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.generators import planted_network
+from repro.core.config import BASIC
+from repro.core.substitution import substitute_network
+from repro.network.blif import to_blif_str
+from repro.resilience import inject
+
+
+def _network(seed=4242):
+    return planted_network(
+        f"fault{seed}", seed=seed, n_pis=8, n_divisors=3, n_targets=5
+    )
+
+
+def _serial_blif(seed=4242):
+    network = _network(seed)
+    substitute_network(network, BASIC)
+    return to_blif_str(network)
+
+
+def _injected_run(plan, config=BASIC, n_jobs=2, seed=4242):
+    network = _network(seed)
+    with inject.injected(plan):
+        stats = substitute_network(network, config, n_jobs=n_jobs)
+    return to_blif_str(network), stats
+
+
+@pytest.mark.fault_injection
+class TestWorkerLoss:
+    def test_killed_worker_is_redispatched(self):
+        # The worker evaluating batch 0 dies mid-pass; the pool breaks,
+        # the failed shards are re-dispatched onto a fresh pool (the
+        # transient plan is disarmed on rebuild) and the run completes.
+        blif, stats = _injected_run(inject.plan(kill_on_batch=0))
+        assert blif == _serial_blif()
+        assert stats.worker_faults >= 1
+        assert stats.shards_redispatched >= 1
+        assert stats.degraded_to_serial == 0
+
+    def test_persistent_kill_degrades_to_serial(self):
+        # The fault survives every pool rebuild, so the shard exhausts
+        # its retries and is evaluated in-process (where the kill hook
+        # is pid-guarded and cannot fire).
+        blif, stats = _injected_run(
+            inject.plan(kill_on_batch=0, persistent=True)
+        )
+        assert blif == _serial_blif()
+        assert stats.worker_faults >= 1
+        assert stats.degraded_to_serial >= 1
+
+    def test_worker_exception_is_contained(self):
+        # A worker-raised exception fails one future without breaking
+        # the pool; only that shard is retried.
+        blif, stats = _injected_run(inject.plan(raise_on_batch=0))
+        assert blif == _serial_blif()
+        assert stats.worker_faults >= 1
+        assert stats.shards_redispatched >= 1
+
+
+@pytest.mark.fault_injection
+class TestSlowWorker:
+    def test_slow_worker_only_costs_time(self):
+        blif, stats = _injected_run(
+            inject.plan(sleep_on_batch=0, sleep_seconds=0.2)
+        )
+        assert blif == _serial_blif()
+        assert stats.worker_faults == 0
+
+
+@pytest.mark.fault_injection
+class TestSpeculationFailure:
+    def test_parent_side_failure_abandons_speculation(self):
+        # The in-process backend raises during precompute; the engine
+        # contains it, the pass runs with an empty store (every pair
+        # evaluates live), and the result is unchanged.
+        config = dataclasses.replace(BASIC, parallel_backend="serial")
+        blif, stats = _injected_run(
+            inject.plan(raise_in_parent_on_batch=0), config=config
+        )
+        assert blif == _serial_blif()
+        assert stats.worker_faults >= 1
+        assert stats.degraded_to_serial >= 1
+        assert stats.parallel_pairs_reused == 0
+
+
+@pytest.mark.fault_injection
+class TestInjectionHygiene:
+    def test_plan_is_cleared_after_with_block(self):
+        with inject.injected(inject.plan(kill_on_batch=0)):
+            assert inject.active() is not None
+        assert inject.active() is None
+
+    def test_destructive_hooks_never_fire_in_parent(self):
+        # kill/raise/sleep are pid-guarded; firing them with the
+        # parent's pid is a no-op.
+        plan = inject.plan(kill_on_batch=0, raise_on_batch=0)
+        inject.fire_batch_hooks(plan, 0)  # must not exit or raise
+
+    def test_uninjected_parallel_run_reports_no_faults(self):
+        network = _network()
+        stats = substitute_network(network, BASIC, n_jobs=2)
+        assert to_blif_str(network) == _serial_blif()
+        assert stats.worker_faults == 0
+        assert stats.shards_redispatched == 0
+        assert stats.degraded_to_serial == 0

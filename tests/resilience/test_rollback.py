@@ -1,0 +1,101 @@
+"""Verified checkpoints: corrupt results are rolled back + quarantined.
+
+The injected fault is the nastiest kind the speculative engine can
+receive: a :class:`DivisionResult` that is structurally valid and
+picklable but functionally *wrong* (its cover complemented).  It sails
+through the commit plumbing untouched — only the transactional
+verification of ``verify_commits`` can catch it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.generators import planted_network
+from repro.core.config import BASIC
+from repro.core.substitution import substitute_network
+from repro.network.blif import to_blif_str
+from repro.network.verify import networks_equivalent
+from repro.resilience import inject
+
+
+def _network(seed=4242):
+    return planted_network(
+        f"rollback{seed}", seed=seed, n_pis=8, n_divisors=3, n_targets=5
+    )
+
+
+#: Serial in-process backend keeps the corruption deterministic (no
+#: process scheduling); one giant batch puts the first profitable pair
+#: — the first commit the pass will attempt — in batch 0, where the
+#: injection strikes.
+TRANSACTIONAL = dataclasses.replace(
+    BASIC,
+    parallel_backend="serial",
+    batch_size=10_000,
+    verify_commits=True,
+    verify_full_every=1,
+)
+
+
+@pytest.mark.fault_injection
+class TestRollback:
+    def _corrupted_run(self):
+        network = _network()
+        reference = network.copy(network.name)
+        with inject.injected(inject.plan(corrupt_on_batch=0)):
+            stats = substitute_network(network, TRANSACTIONAL, n_jobs=2)
+        return network, reference, stats
+
+    def test_corrupt_commit_is_rolled_back_and_quarantined(self):
+        network, reference, stats = self._corrupted_run()
+        assert stats.commits_rolled_back >= 1
+        assert stats.pairs_quarantined >= 1
+        # The run survived the fault and the result is still correct.
+        assert networks_equivalent(reference, network)
+
+    def test_incident_record_is_structured(self):
+        _, _, stats = self._corrupted_run()
+        assert stats.incidents
+        incident = stats.incidents[0]
+        assert incident["kind"] == "rolled_back_commit"
+        assert isinstance(incident["dividend"], str)
+        assert isinstance(incident["divisor"], str)
+        assert incident["check"] in ("exact", "simulation")
+        import json
+
+        json.dumps(stats.incidents)  # JSON-ready for --stats-json
+
+    def test_quarantined_pair_stays_out(self):
+        # The quarantined pair is the one the corrupt outcome named;
+        # it must not be committed later in the run (its speculative
+        # outcome is still in the store and still "valid" because the
+        # rollback restored the exact pre-commit node state).
+        network, reference, stats = self._corrupted_run()
+        assert stats.commits_rolled_back == stats.pairs_quarantined
+        assert networks_equivalent(reference, network)
+
+
+class TestTransactionalMode:
+    def test_clean_run_verifies_every_commit(self):
+        network = _network(seed=7)
+        stats = substitute_network(
+            network,
+            dataclasses.replace(
+                BASIC, verify_commits=True, verify_full_every=2
+            ),
+        )
+        assert stats.accepted > 0
+        assert stats.commits_verified >= stats.accepted
+        assert stats.commits_rolled_back == 0
+        assert stats.pairs_quarantined == 0
+        assert stats.incidents == []
+
+    def test_transactional_mode_changes_nothing_when_clean(self):
+        plain = _network(seed=7)
+        substitute_network(plain, BASIC)
+        checked = _network(seed=7)
+        substitute_network(
+            checked, dataclasses.replace(BASIC, verify_commits=True)
+        )
+        assert to_blif_str(plain) == to_blif_str(checked)
