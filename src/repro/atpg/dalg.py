@@ -225,16 +225,31 @@ def prove_redundant(
     observables: Optional[Set[str]] = None,
     max_backtracks: int = 20000,
     budget=None,
+    tracer=None,
 ) -> Optional[bool]:
     """Exact redundancy: True/False, or ``None`` if the budget ran out.
 
     ``None`` is a *don't know*: consumers removing wires must treat it
     as "not redundant" (the conservative direction — keeping a
-    removable wire is safe, removing a needed one is not).
+    removable wire is safe, removing a needed one is not).  An enabled
+    *tracer* records the search as one ``atpg`` span with the verdict
+    and backtrack count.
     """
-    result = generate_test(
-        circuit, fault, observables, max_backtracks, budget=budget
-    )
-    if result.test is not None:
-        return False
-    return True if result.complete else None
+    from repro.obs.tracer import as_tracer
+
+    with as_tracer(tracer).span(
+        "atpg", scope="dalg", gate=fault.gate, input=fault.input_index
+    ) as span:
+        result = generate_test(
+            circuit, fault, observables, max_backtracks, budget=budget
+        )
+        if result.test is not None:
+            verdict: Optional[bool] = False
+        else:
+            verdict = True if result.complete else None
+        span.annotate(
+            verdict=verdict,
+            complete=result.complete,
+            backtracks=result.backtracks,
+        )
+        return verdict

@@ -17,6 +17,7 @@ from repro.circuit.gate import Gate, GateKind
 from repro.atpg.implication import Conflict, ImplicationEngine
 from repro.atpg.fault import StuckAtFault, all_wire_faults, mandatory_assignments
 from repro.atpg.learning import learn_implications
+from repro.obs.tracer import as_tracer
 
 
 def wire_is_redundant(
@@ -48,6 +49,7 @@ def wire_is_redundant_exact(
     observables: Optional[Set[str]] = None,
     max_backtracks: int = 20000,
     budget=None,
+    tracer=None,
 ) -> bool:
     """Complete D-alg redundancy check, conservative under budgets.
 
@@ -59,7 +61,8 @@ def wire_is_redundant_exact(
     from repro.atpg.dalg import prove_redundant
 
     verdict = prove_redundant(
-        circuit, fault, observables, max_backtracks, budget=budget
+        circuit, fault, observables, max_backtracks, budget=budget,
+        tracer=tracer,
     )
     return verdict is True
 
@@ -90,6 +93,7 @@ def redundancy_removal(
     exact: bool = False,
     max_backtracks: int = 20000,
     budget=None,
+    tracer=None,
 ) -> int:
     """Greedy redundancy removal; returns the number of wires removed.
 
@@ -100,32 +104,39 @@ def redundancy_removal(
     is additionally checked with the complete miter D-alg
     (:func:`wire_is_redundant_exact`); an out-of-budget search is
     treated as *not redundant*, so a tight *budget* only makes the
-    removal less aggressive, never unsound.
+    removal less aggressive, never unsound.  An enabled *tracer*
+    records the whole sweep as one ``atpg`` span.
     """
+    tracer = as_tracer(tracer)
     removed = 0
-    for _ in range(max_rounds):
-        progress = False
-        for fault in list(all_wire_faults(circuit)):
-            gate = circuit.gates.get(fault.gate)
-            if gate is None or fault.input_index >= len(gate.inputs):
-                continue
-            redundant = wire_is_redundant(
-                circuit, fault, observables, learn_depth
-            )
-            if not redundant and exact:
-                redundant = wire_is_redundant_exact(
-                    circuit,
-                    fault,
-                    observables,
-                    max_backtracks,
-                    budget=budget,
+    with tracer.span(
+        "atpg", scope="redundancy_removal", gates=len(circuit.gates)
+    ) as span:
+        for _ in range(max_rounds):
+            progress = False
+            for fault in list(all_wire_faults(circuit)):
+                gate = circuit.gates.get(fault.gate)
+                if gate is None or fault.input_index >= len(gate.inputs):
+                    continue
+                redundant = wire_is_redundant(
+                    circuit, fault, observables, learn_depth
                 )
-            if redundant:
-                remove_wire(circuit, fault.gate, fault.input_index)
-                removed += 1
-                progress = True
-        if not progress:
-            break
+                if not redundant and exact:
+                    redundant = wire_is_redundant_exact(
+                        circuit,
+                        fault,
+                        observables,
+                        max_backtracks,
+                        budget=budget,
+                        tracer=tracer,
+                    )
+                if redundant:
+                    remove_wire(circuit, fault.gate, fault.input_index)
+                    removed += 1
+                    progress = True
+            if not progress:
+                break
+        span.annotate(wires_removed=removed)
     return removed
 
 

@@ -1,0 +1,111 @@
+"""Disabled-tracer overhead benchmark (``BENCH_obs_overhead.json``).
+
+The obs subsystem promises that tracing *disabled* (the default) costs
+(near) nothing.  Wall-clock A/B timing of one run cannot resolve a
+sub-percent delta over OS noise, so the overhead is bounded
+analytically instead:
+
+1. run once with an enabled tracer to count exactly how many spans the
+   circuit's optimization emits (the instrumentation sites executed);
+2. microbenchmark the disabled path — one ``NULL_TRACER.span()``
+   context entry/exit — over millions of iterations;
+3. overhead ≤ span_count × null_span_cost / disabled_wall_seconds.
+
+The report also records the raw disabled/enabled wall times (for
+eyeballing) and asserts output parity between the two runs, which is
+the other half of the "pure observer" contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+import timeit
+from typing import Dict, Optional, Sequence
+
+from repro.bench.suite import build_benchmark
+from repro.core.config import DivisionConfig, EXTENDED
+from repro.core.substitution import substitute_network
+from repro.network.blif import to_blif_str
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+DEFAULT_RESULT_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "results"
+    / "BENCH_obs_overhead.json"
+)
+
+#: The acceptance bound: disabled tracing must cost < 2% wall.
+OVERHEAD_BOUND = 0.02
+
+
+def null_span_cost(iterations: int = 200_000) -> float:
+    """Seconds per disabled-span entry/exit (median of 5 repeats)."""
+    timer = timeit.Timer(
+        "\n".join(
+            [
+                "with tracer.span('pair', f='a', d='b') as s:",
+                "    s.annotate(pruned=False)",
+            ]
+        ),
+        globals={"tracer": NULL_TRACER},
+    )
+    samples = sorted(
+        timer.timeit(iterations) / iterations for _ in range(5)
+    )
+    return samples[len(samples) // 2]
+
+
+def measure_circuit(
+    name: str, config: DivisionConfig = EXTENDED
+) -> Dict[str, object]:
+    """Overhead report for one benchmark circuit."""
+    disabled_net = build_benchmark(name)
+    start = time.perf_counter()
+    substitute_network(disabled_net, config)
+    disabled_wall = time.perf_counter() - start
+
+    traced_net = build_benchmark(name)
+    tracer = Tracer()
+    start = time.perf_counter()
+    substitute_network(traced_net, config, tracer=tracer)
+    enabled_wall = time.perf_counter() - start
+
+    span_cost = null_span_cost()
+    spans = len(tracer.events)
+    bound = (spans * span_cost) / disabled_wall if disabled_wall else 0.0
+    return {
+        "circuit": name,
+        "spans": spans,
+        "null_span_cost_ns": span_cost * 1e9,
+        "disabled_wall_seconds": disabled_wall,
+        "enabled_wall_seconds": enabled_wall,
+        "overhead_bound": bound,
+        "output_identical": to_blif_str(disabled_net)
+        == to_blif_str(traced_net),
+    }
+
+
+def run_obs_overhead_benchmark(
+    circuits: Sequence[str] = ("rnd8",),
+    result_path: Optional[pathlib.Path] = None,
+) -> Dict[str, object]:
+    """Measure every circuit and write the JSON report."""
+    rows = [measure_circuit(name) for name in circuits]
+    report = {
+        "benchmark": "obs_overhead",
+        "bound": OVERHEAD_BOUND,
+        "machine": {"cpu_count": os.cpu_count()},
+        "circuits": rows,
+        "max_overhead_bound": max(r["overhead_bound"] for r in rows),
+        "all_outputs_identical": all(r["output_identical"] for r in rows),
+    }
+    path = pathlib.Path(result_path or DEFAULT_RESULT_PATH)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report

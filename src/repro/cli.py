@@ -136,6 +136,24 @@ def _optimize_main(argv: List[str]) -> int:
             "against the input, roll back and quarantine on miscompare"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        help=(
+            "record a structured trace of the run (spans for every "
+            "pass, pair, divide, ATPG sweep, commit and verify — "
+            "worker spans merged in) as JSON lines; tracing never "
+            "changes the optimized output"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-phase wall/CPU profile table to stderr "
+            "after the run"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.network.blif import BlifParseError, read_blif, to_blif_str
@@ -181,12 +199,19 @@ def _optimize_main(argv: List[str]) -> int:
         overrides["deadline_seconds"] = args.deadline
     if args.verify_commits:
         overrides["verify_commits"] = True
-    if overrides and args.method == "sis":
+    if (overrides or args.trace or args.profile) and args.method == "sis":
         parser.error(
             "--no-sim-filter/--sim-patterns/--jobs/--deadline/"
-            "--verify-commits do not apply to sis"
+            "--verify-commits/--trace/--profile do not apply to sis"
         )
-    stats = run_method(network, args.method, config_overrides=overrides)
+    tracer = None
+    if args.trace or args.profile:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+    stats = run_method(
+        network, args.method, config_overrides=overrides, tracer=tracer
+    )
     substats = stats.get("stats") or {}
     budget_report = substats.get("budget_report")
     if budget_report and budget_report.get("stopped"):
@@ -204,10 +229,16 @@ def _optimize_main(argv: List[str]) -> int:
         )
 
     if not args.no_verify:
-        if len(network.pis) <= 24:
-            ok = networks_equivalent(reference, network)
-        else:
-            ok = simulate_equivalent(reference, network, patterns=512)
+        from repro.obs.tracer import as_tracer
+
+        with as_tracer(tracer).span(
+            "verify", check="final-equivalence"
+        ) as verify_span:
+            if len(network.pis) <= 24:
+                ok = networks_equivalent(reference, network)
+            else:
+                ok = simulate_equivalent(reference, network, patterns=512)
+            verify_span.annotate(ok=ok)
         if not ok:
             print("ERROR: optimized network is NOT equivalent", file=sys.stderr)
             return 1
@@ -218,6 +249,20 @@ def _optimize_main(argv: List[str]) -> int:
             handle.write(blif)
     else:
         sys.stdout.write(blif)
+    if tracer is not None:
+        if args.trace:
+            tracer.export_jsonl(args.trace)
+            print(
+                f"# trace: {len(tracer.events)} spans -> {args.trace}",
+                file=sys.stderr,
+            )
+        if args.profile:
+            from repro.obs.profile import format_profile, profile_events
+
+            print(
+                format_profile(profile_events(tracer.events)),
+                file=sys.stderr,
+            )
     if args.stats_json:
         import json
 
@@ -230,6 +275,7 @@ def _optimize_main(argv: List[str]) -> int:
             "literals_final": int(stats["literals"]),
             "cpu_seconds": stats["cpu"],
             "substitution": stats.get("stats"),
+            "metrics": stats.get("metrics"),
         }
         with open(args.stats_json, "w") as handle:
             json.dump(report, handle, indent=2)

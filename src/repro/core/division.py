@@ -50,6 +50,7 @@ from repro.network.factor import factored_literals
 from repro.network.network import Network
 from repro.core.config import DivisionConfig
 from repro.core.sos_pos import sos_split
+from repro.obs.tracer import NULL_TRACER, as_tracer
 
 #: Synthetic OR gate asserting the (possibly core) divisor's value.
 CORE_SIGNAL = "__core__"
@@ -332,6 +333,7 @@ def boolean_divide(
     substitute_as: Optional[str] = None,
     circuit: Optional[Circuit] = None,
     budget=None,
+    tracer=None,
 ) -> Optional[DivisionResult]:
     """Divide node *f* by node *divisor* using RAR; None on failure.
 
@@ -344,8 +346,49 @@ def boolean_divide(
     managed by this function either way).  *budget* is an optional
     :class:`~repro.resilience.budget.RunBudget` whose deadline is
     honoured inside the removal loop (may raise
-    :class:`~repro.resilience.budget.BudgetExhausted`).
+    :class:`~repro.resilience.budget.BudgetExhausted`).  *tracer* is an
+    optional :class:`~repro.obs.tracer.Tracer`; every invocation
+    records one ``divide`` span (with nested ``atpg`` spans for the
+    removal loops) and ``None`` traces nothing.
     """
+    tracer = as_tracer(tracer)
+    if not tracer.enabled:
+        return _boolean_divide_impl(
+            network, f_name, divisor_name, config, phase, form,
+            core_indices, substitute_as, circuit, budget, NULL_TRACER,
+        )
+    with tracer.span(
+        "divide",
+        f=f_name,
+        d=divisor_name,
+        phase=phase,
+        form=form,
+        core=core_indices is not None,
+    ) as span:
+        result = _boolean_divide_impl(
+            network, f_name, divisor_name, config, phase, form,
+            core_indices, substitute_as, circuit, budget, tracer,
+        )
+        span.annotate(
+            success=result is not None,
+            gain=None if result is None else result.gain,
+        )
+        return result
+
+
+def _boolean_divide_impl(
+    network: Network,
+    f_name: str,
+    divisor_name: str,
+    config: DivisionConfig,
+    phase: bool,
+    form: str,
+    core_indices: Optional[Sequence[int]],
+    substitute_as: Optional[str],
+    circuit: Optional[Circuit],
+    budget,
+    tracer,
+) -> Optional[DivisionResult]:
     if form not in ("sop", "pos"):
         raise ValueError("form must be 'sop' or 'pos'")
     f_node = network.nodes[f_name]
@@ -506,7 +549,14 @@ def boolean_divide(
 
             remover.removal_oracle = oracle
 
-        remover.run()
+        with tracer.span(
+            "atpg", f=f_name, d=divisor_name, region=len(region)
+        ) as atpg_span:
+            remover.run()
+            atpg_span.annotate(
+                wires_removed=remover.wires_removed,
+                cubes_removed=remover.cubes_removed,
+            )
 
         if not remover.region:
             return None
@@ -560,6 +610,7 @@ def divide_node_pair(
     circuit: Optional[Circuit] = None,
     attempts: Optional[Sequence[Tuple[bool, str]]] = None,
     budget=None,
+    tracer=None,
 ) -> Optional[DivisionResult]:
     """Best basic division of *f* by *d* across phases and forms.
 
@@ -586,6 +637,7 @@ def divide_node_pair(
             form=form,
             circuit=circuit,
             budget=budget,
+            tracer=tracer,
         )
         if result is not None and result.gain > 0:
             if best is None or result.gain > best.gain:
@@ -600,6 +652,7 @@ def evaluate_division(
     config: DivisionConfig,
     attempts: Optional[Sequence[Tuple[bool, str]]] = None,
     circuit: Optional[Circuit] = None,
+    tracer=None,
 ) -> Optional[DivisionResult]:
     """Side-effect-free division of one candidate pair (worker entry).
 
@@ -626,4 +679,5 @@ def evaluate_division(
         config,
         circuit=circuit,
         attempts=attempts,
+        tracer=tracer,
     )

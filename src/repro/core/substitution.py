@@ -30,6 +30,7 @@ from repro.core.extended import (
     decompose_divisor,
     decompose_divisor_pos,
 )
+from repro.obs.tracer import NULL_TRACER, as_tracer
 from repro.resilience.budget import BudgetExhausted, BudgetReport, RunBudget
 from repro.resilience.checkpoint import CommitLedger
 
@@ -189,6 +190,7 @@ def _try_extended(
     sim_filter=None,
     budget=None,
     ledger=None,
+    tracer=NULL_TRACER,
 ) -> bool:
     """One extended-division attempt on *f* over pooled divisors.
 
@@ -234,28 +236,37 @@ def _try_extended(
         return False
     if whole:
         result = boolean_divide(
-            network, f_name, d_name, config, form=form, budget=budget
+            network, f_name, d_name, config, form=form, budget=budget,
+            tracer=tracer,
         )
         if result is None or result.gain <= 0:
             return False
-        snapshot = _Snapshot(network, [f_name])
-        apply_division(network, result)
-        _note_mutation(sim_filter, [f_name])
-        if not _verify_ok(network, reference, config, sim_filter):
-            snapshot.restore()
+        with tracer.span(
+            "commit", f=f_name, d=d_name, via="extended-whole"
+        ) as commit_span:
+            snapshot = _Snapshot(network, [f_name])
+            apply_division(network, result)
             _note_mutation(sim_filter, [f_name])
-            return False
-        if ledger is not None and not ledger.verify_commit(
-            network, f_name, d_name
-        ):
-            snapshot.restore()
-            _note_mutation(sim_filter, [f_name])
-            ledger.quarantine(f_name, d_name)
-            return False
-        stats.accepted += 1
-        stats.wires_removed += result.wires_removed
-        stats.cubes_removed += result.cubes_removed
-        return True
+            if not _verify_ok(
+                network, reference, config, sim_filter, tracer
+            ):
+                snapshot.restore()
+                _note_mutation(sim_filter, [f_name])
+                commit_span.annotate(accepted=False)
+                return False
+            if ledger is not None and not _ledger_verify(
+                ledger, network, f_name, d_name, tracer
+            ):
+                snapshot.restore()
+                _note_mutation(sim_filter, [f_name])
+                ledger.quarantine(f_name, d_name)
+                commit_span.annotate(accepted=False)
+                return False
+            stats.accepted += 1
+            stats.wires_removed += result.wires_removed
+            stats.cubes_removed += result.cubes_removed
+            commit_span.annotate(accepted=True, gain=result.gain)
+            return True
 
     # Decompose the divisor around the core, then basic-divide by the
     # exposed core node; accept only if the *total* factored literal
@@ -275,7 +286,8 @@ def _try_extended(
     snapshot.note_created(core_name)
     try:
         result = boolean_divide(
-            network, f_name, core_name, config, form=form, budget=budget
+            network, f_name, core_name, config, form=form, budget=budget,
+            tracer=tracer,
         )
     except BudgetExhausted:
         # The divisor is already decomposed; undo before unwinding so
@@ -287,31 +299,39 @@ def _try_extended(
         snapshot.restore()
         _note_mutation(sim_filter, [f_name, d_name, core_name])
         return False
-    apply_division(network, result)
-    _note_mutation(sim_filter, [f_name, d_name, core_name])
-    after_total = (
-        factored_literals(network.nodes[f_name].cover)
-        + factored_literals(network.nodes[d_name].cover)
-        + factored_literals(network.nodes[core_name].cover)
-    )
-    if after_total >= before_total or not _verify_ok(
-        network, reference, config, sim_filter
-    ):
-        snapshot.restore()
+    with tracer.span(
+        "commit", f=f_name, d=d_name, via="extended-core"
+    ) as commit_span:
+        apply_division(network, result)
         _note_mutation(sim_filter, [f_name, d_name, core_name])
-        return False
-    if ledger is not None and not ledger.verify_commit(
-        network, f_name, d_name
-    ):
-        snapshot.restore()
-        _note_mutation(sim_filter, [f_name, d_name, core_name])
-        ledger.quarantine(f_name, d_name)
-        return False
-    stats.accepted += 1
-    stats.cores_extracted += 1
-    stats.wires_removed += result.wires_removed
-    stats.cubes_removed += result.cubes_removed
-    return True
+        after_total = (
+            factored_literals(network.nodes[f_name].cover)
+            + factored_literals(network.nodes[d_name].cover)
+            + factored_literals(network.nodes[core_name].cover)
+        )
+        if after_total >= before_total or not _verify_ok(
+            network, reference, config, sim_filter, tracer
+        ):
+            snapshot.restore()
+            _note_mutation(sim_filter, [f_name, d_name, core_name])
+            commit_span.annotate(accepted=False)
+            return False
+        if ledger is not None and not _ledger_verify(
+            ledger, network, f_name, d_name, tracer
+        ):
+            snapshot.restore()
+            _note_mutation(sim_filter, [f_name, d_name, core_name])
+            ledger.quarantine(f_name, d_name)
+            commit_span.annotate(accepted=False)
+            return False
+        stats.accepted += 1
+        stats.cores_extracted += 1
+        stats.wires_removed += result.wires_removed
+        stats.cubes_removed += result.cubes_removed
+        commit_span.annotate(
+            accepted=True, gain=before_total - after_total
+        )
+        return True
 
 
 def _verify_ok(
@@ -319,11 +339,27 @@ def _verify_ok(
     reference: Optional[Network],
     config: DivisionConfig,
     sim_filter=None,
+    tracer=NULL_TRACER,
 ) -> bool:
     if not config.verify_with_simulation or reference is None:
         return True
     sim = sim_filter.sim if sim_filter is not None else None
-    return simulate_equivalent_prescreened(reference, network, sim)
+    with tracer.span("verify", check="simulation") as span:
+        ok = simulate_equivalent_prescreened(reference, network, sim)
+        span.annotate(ok=ok)
+        return ok
+
+
+def _ledger_verify(
+    ledger, network: Network, f_name: str, d_name: str, tracer
+) -> bool:
+    """One transactional commit check, recorded as a ``verify`` span."""
+    with tracer.span(
+        "verify", check="ledger", f=f_name, d=d_name
+    ) as span:
+        ok = ledger.verify_commit(network, f_name, d_name)
+        span.annotate(ok=ok)
+        return ok
 
 
 def substitute_pass(
@@ -335,6 +371,7 @@ def substitute_pass(
     store=None,
     budget=None,
     ledger=None,
+    tracer=None,
 ) -> int:
     """One sweep over all nodes; returns accepted substitutions.
 
@@ -361,6 +398,11 @@ def substitute_pass(
     rewrite is verified against the pre-optimization reference, rolled
     back on miscompare, and the pair quarantined for the rest of the
     run.
+
+    *tracer* is an optional :class:`~repro.obs.tracer.Tracer`; the
+    pass records ``enumerate``/``pair``/``divide``/``atpg``/``commit``/
+    ``verify`` spans under the caller's ``pass`` span.  ``None``
+    traces nothing and costs nothing.
     """
     if stats is None:
         stats = SubstitutionStats()
@@ -368,7 +410,7 @@ def substitute_pass(
     try:
         _run_pass(
             network, config, stats, reference, sim_filter, store,
-            budget, ledger,
+            budget, ledger, as_tracer(tracer),
         )
     except BudgetExhausted:
         # Clean stop: every commit so far is applied (and verified, in
@@ -386,6 +428,7 @@ def _run_pass(
     store,
     budget,
     ledger,
+    tracer,
 ) -> None:
     accepted_before = stats.accepted
     n_enabled = len(enabled_attempts(config))
@@ -396,7 +439,9 @@ def _run_pass(
         node = network.nodes[f_name]
         if node.is_pi or node.is_constant() or node.cover is None:
             continue
-        divisors = _candidate_divisors(network, f_name, config)
+        with tracer.span("enumerate", f=f_name) as enum_span:
+            divisors = _candidate_divisors(network, f_name, config)
+            enum_span.annotate(divisors=len(divisors))
         if not divisors:
             continue
 
@@ -431,72 +476,99 @@ def _run_pass(
                 # pre-commit node state exactly, so the stale
                 # speculative outcome would otherwise be served again.
                 continue
-            outcome = None
-            if store is not None:
-                # A valid speculative outcome equals what the live
-                # evaluation below would produce (the store's validity
-                # contract), so committing from it preserves the serial
-                # greedy sequence exactly.
-                outcome = store.lookup(
-                    network,
-                    f_name,
-                    d_name,
-                    mutated=stats.accepted > accepted_before,
-                )
-            if outcome is not None:
-                if outcome.pruned:
-                    stats.divisors_pruned += 1
-                    continue
-                stats.attempts += 1
-                stats.divide_calls += outcome.divide_calls
-                if budget is not None:
-                    budget.charge_divide_calls(outcome.divide_calls)
-                stats.variants_pruned += outcome.variants_pruned
-                result = outcome.result
-            else:
-                attempts = None
-                if sim_filter is not None:
-                    # Pruning is evaluated against the *current* network
-                    # state, so a skip is a proof divide_node_pair would
-                    # return None right now — never a changed outcome.
-                    attempts = sim_filter.viable_attempts(f_name, d_name)
-                    if not attempts:
+            with tracer.span("pair", f=f_name, d=d_name) as pair_span:
+                outcome = None
+                if store is not None:
+                    # A valid speculative outcome equals what the live
+                    # evaluation below would produce (the store's
+                    # validity contract), so committing from it
+                    # preserves the serial greedy sequence exactly.
+                    outcome = store.lookup(
+                        network,
+                        f_name,
+                        d_name,
+                        mutated=stats.accepted > accepted_before,
+                    )
+                if outcome is not None:
+                    pair_speculative = True
+                    if outcome.pruned:
                         stats.divisors_pruned += 1
+                        pair_span.annotate(
+                            speculative=True, pruned=True
+                        )
                         continue
-                    stats.variants_pruned += n_enabled - len(attempts)
-                stats.attempts += 1
-                calls = n_enabled if attempts is None else len(attempts)
-                stats.divide_calls += calls
-                if budget is not None:
-                    budget.charge_divide_calls(calls)
-                result = divide_node_pair(
-                    network,
-                    f_name,
-                    d_name,
-                    config,
-                    circuit=_gdc_circuit(),
-                    attempts=attempts,
-                    budget=budget,
-                )
-            if result is None:
-                continue
-            snapshot = _Snapshot(network, [f_name])
-            apply_division(network, result)
-            _note_mutation(sim_filter, [f_name])
-            if not _verify_ok(network, reference, config, sim_filter):
-                snapshot.restore()
-                _note_mutation(sim_filter, [f_name])
-                continue
-            if ledger is not None and not ledger.verify_commit(
-                network, f_name, d_name
-            ):
-                snapshot.restore()
-                _note_mutation(sim_filter, [f_name])
-                ledger.quarantine(f_name, d_name)
-                continue
-            stats.accepted += 1
-            stats.wires_removed += result.wires_removed
-            stats.cubes_removed += result.cubes_removed
+                    stats.attempts += 1
+                    stats.divide_calls += outcome.divide_calls
+                    if budget is not None:
+                        budget.charge_divide_calls(outcome.divide_calls)
+                    stats.variants_pruned += outcome.variants_pruned
+                    result = outcome.result
+                else:
+                    pair_speculative = False
+                    attempts = None
+                    if sim_filter is not None:
+                        # Pruning is evaluated against the *current*
+                        # network state, so a skip is a proof
+                        # divide_node_pair would return None right now
+                        # — never a changed outcome.
+                        attempts = sim_filter.viable_attempts(
+                            f_name, d_name
+                        )
+                        if not attempts:
+                            stats.divisors_pruned += 1
+                            pair_span.annotate(pruned=True)
+                            continue
+                        stats.variants_pruned += n_enabled - len(attempts)
+                    stats.attempts += 1
+                    calls = n_enabled if attempts is None else len(attempts)
+                    stats.divide_calls += calls
+                    if budget is not None:
+                        budget.charge_divide_calls(calls)
+                    result = divide_node_pair(
+                        network,
+                        f_name,
+                        d_name,
+                        config,
+                        circuit=_gdc_circuit(),
+                        attempts=attempts,
+                        budget=budget,
+                        tracer=tracer,
+                    )
+                if result is None:
+                    pair_span.annotate(
+                        speculative=pair_speculative, accepted=False
+                    )
+                    continue
+                with tracer.span(
+                    "commit", f=f_name, d=d_name, via="basic"
+                ) as commit_span:
+                    snapshot = _Snapshot(network, [f_name])
+                    apply_division(network, result)
+                    _note_mutation(sim_filter, [f_name])
+                    if not _verify_ok(
+                        network, reference, config, sim_filter, tracer
+                    ):
+                        snapshot.restore()
+                        _note_mutation(sim_filter, [f_name])
+                        commit_span.annotate(accepted=False)
+                        continue
+                    if ledger is not None and not _ledger_verify(
+                        ledger, network, f_name, d_name, tracer
+                    ):
+                        snapshot.restore()
+                        _note_mutation(sim_filter, [f_name])
+                        ledger.quarantine(f_name, d_name)
+                        commit_span.annotate(accepted=False)
+                        continue
+                    stats.accepted += 1
+                    stats.wires_removed += result.wires_removed
+                    stats.cubes_removed += result.cubes_removed
+                    commit_span.annotate(
+                        accepted=True, gain=result.gain
+                    )
+                    pair_span.annotate(
+                        speculative=pair_speculative, accepted=True
+                    )
 
         if config.mode == "extended":
             # Extended division over the pooled candidates; repeat while
@@ -518,6 +590,7 @@ def _run_pass(
                     sim_filter=sim_filter,
                     budget=budget,
                     ledger=ledger,
+                    tracer=tracer,
                 ):
                     break
 
@@ -547,6 +620,7 @@ def _run_pass(
                     sim_filter=sim_filter,
                     budget=budget,
                     ledger=ledger,
+                    tracer=tracer,
                 ):
                     break
 
@@ -558,6 +632,7 @@ def substitute_network(
     stats: Optional[SubstitutionStats] = None,
     n_jobs: Optional[int] = None,
     budget=None,
+    tracer=None,
 ) -> SubstitutionStats:
     """Run substitution passes to a fixpoint (the paper's "one run").
 
@@ -586,7 +661,15 @@ def substitute_network(
     accepted rewrite is verified against a pre-run reference copy,
     rolled back on miscompare, and the offending pair quarantined
     (incidents land in ``stats.incidents``).
+
+    *tracer* is an optional :class:`~repro.obs.tracer.Tracer`; the run
+    records a ``run`` span with one ``pass`` span per sweep and the
+    pipeline spans beneath (worker-recorded spans are merged in from
+    the parallel engine).  The default ``None`` traces nothing, costs
+    (near) nothing, and the optimized network is byte-identical either
+    way — tracing never influences control flow.
     """
+    tracer = as_tracer(tracer)
     if n_jobs is not None and n_jobs != config.n_jobs:
         config = dataclasses.replace(config, n_jobs=n_jobs)
     if stats is None:
@@ -616,27 +699,38 @@ def substitute_network(
         from repro.parallel.engine import SpeculativeEngine
 
         engine = SpeculativeEngine(config)
-    for _ in range(config.max_passes):
-        if budget is not None and budget.exhausted():
-            break
-        store = None
-        if engine is not None:
-            store = engine.precompute(network, sim_filter=sim_filter)
-        if (
-            substitute_pass(
-                network,
-                config,
-                stats,
-                reference,
-                sim_filter=sim_filter,
-                store=store,
-                budget=budget,
-                ledger=ledger,
-            )
-            == 0
-        ):
-            break
-    network.sweep_dangling()
+    #: The budget may be shared across several runs accumulating into
+    #: the same *stats*; charge only this run's ATPG-incomplete delta
+    #: (the ledger on the budget is cumulative).
+    atpg_incomplete_before = budget.atpg_incomplete if budget else 0
+    with tracer.span(
+        "run", circuit=network.name, mode=config.mode, jobs=config.n_jobs
+    ) as run_span:
+        for index in range(config.max_passes):
+            if budget is not None and budget.exhausted():
+                break
+            with tracer.span("pass", index=index) as pass_span:
+                store = None
+                if engine is not None:
+                    store = engine.precompute(
+                        network, sim_filter=sim_filter, tracer=tracer
+                    )
+                accepted = substitute_pass(
+                    network,
+                    config,
+                    stats,
+                    reference,
+                    sim_filter=sim_filter,
+                    store=store,
+                    budget=budget,
+                    ledger=ledger,
+                    tracer=tracer,
+                )
+                pass_span.annotate(accepted=accepted)
+            if accepted == 0:
+                break
+        network.sweep_dangling()
+        run_span.annotate(accepted=stats.accepted)
     if sim_filter is not None:
         # Pick up nodes dropped by the sweep, then fold the filter's
         # counters into the run statistics.  Accumulate — *stats* may
@@ -661,7 +755,9 @@ def substitute_network(
         stats.pairs_quarantined += len(ledger.quarantined)
         stats.incidents.extend(ledger.incidents)
     if budget is not None:
-        stats.atpg_incomplete += budget.atpg_incomplete
+        stats.atpg_incomplete += (
+            budget.atpg_incomplete - atpg_incomplete_before
+        )
         stats.budget_report = budget.report()
     stats.cpu_seconds += time.perf_counter() - start
     stats.literals_after += network_literals(network)

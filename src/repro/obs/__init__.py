@@ -1,0 +1,69 @@
+"""Observability for the division pipeline: tracing, metrics, profiles.
+
+Three zero-dependency building blocks:
+
+* :mod:`repro.obs.tracer` — nestable wall/CPU spans with an injectable
+  clock, JSONL export, and a no-op tracer whose use is near-free and
+  leaves runs byte-identical (the default everywhere);
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/timing
+  summaries that folds the run's ad-hoc ledgers
+  (:class:`~repro.core.substitution.SubstitutionStats`, executor fault
+  counters, :class:`~repro.resilience.budget.BudgetReport`) into one
+  JSON-ready snapshot;
+* :mod:`repro.obs.profile` — per-phase rollups (pass /
+  pair-enumeration / divide / ATPG-region-removal / commit / verify)
+  over a trace's events.
+
+The tracer is threaded through :func:`~repro.core.substitution.
+substitute_network`, the division engine, the ATPG loops and the
+parallel stack — worker processes record spans locally and ship them
+back with their shard results, so one merged trace covers a
+multi-process run.  The CLI exposes ``--trace FILE.jsonl`` and
+``--profile``.
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SPAN_KINDS,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    as_tracer,
+    read_jsonl,
+    validate_trace_event,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimingSummary,
+    metrics_from_run,
+    run_snapshot,
+)
+from repro.obs.profile import (
+    PROFILE_PHASES,
+    format_profile,
+    profile_events,
+    profile_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SPAN_KINDS",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "as_tracer",
+    "read_jsonl",
+    "validate_trace_event",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "TimingSummary",
+    "metrics_from_run",
+    "run_snapshot",
+    "PROFILE_PHASES",
+    "format_profile",
+    "profile_events",
+    "profile_tracer",
+]

@@ -1,0 +1,264 @@
+"""Unified metrics: counters, gauges, timing summaries, one snapshot.
+
+PRs 1–3 accreted ad-hoc observability: counter fields on
+:class:`~repro.core.substitution.SubstitutionStats`, fault counters on
+the executors, a :class:`~repro.resilience.budget.BudgetReport`
+dataclass.  This module gives them one home: a
+:class:`MetricsRegistry` of named instruments whose
+:meth:`~MetricsRegistry.snapshot` is a single JSON-ready dict, and
+:func:`metrics_from_run` which absorbs a finished run's ledgers into
+namespaced metrics (``substitution.*``, ``parallel.*``,
+``resilience.*``, ``budget.*``) so every consumer — ``--stats-json``,
+:func:`~repro.scripts.flows.run_method`, dashboards — reads the same
+shape regardless of which subsystems were active.
+
+Names are dotted paths; the convention is ``<namespace>.<field>``.
+Counters are monotone within one registry; gauges are last-write-wins;
+timing summaries aggregate observations into count/total/min/max/mean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+
+class Counter:
+    """Monotone non-decreasing integer instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instrument (floats, ints, strings, None)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: object = None
+
+    def set(self, value: object) -> None:
+        self.value = value
+
+
+class TimingSummary:
+    """Aggregated observations: count / total / min / max / mean."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments, one snapshot out.
+
+    A name is bound to exactly one instrument type; asking for the
+    same name as a different type is an error (it would silently fork
+    the metric).
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timings: Dict[str, TimingSummary] = {}
+
+    # ------------------------------------------------------------------
+    def _check_unbound(self, name: str, want: Dict[str, object]) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("timing", self._timings),
+        ):
+            if table is not want and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        self._check_unbound(name, self._counters)
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_unbound(name, self._gauges)
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def timing(self, name: str) -> TimingSummary:
+        self._check_unbound(name, self._timings)
+        instrument = self._timings.get(name)
+        if instrument is None:
+            instrument = self._timings[name] = TimingSummary(name)
+        return instrument
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-ready dict of every instrument's current state."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "timings": {
+                name: t.summary()
+                for name, t in sorted(self._timings.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Absorbing the run ledgers
+# ----------------------------------------------------------------------
+#: SubstitutionStats counter fields → substitution.* counters.
+_SUBSTITUTION_COUNTERS = (
+    "attempts",
+    "accepted",
+    "wires_removed",
+    "cubes_removed",
+    "cores_extracted",
+    "divide_calls",
+    "divisors_pruned",
+    "variants_pruned",
+    "sim_cache_hits",
+    "sim_cache_misses",
+    "resim_nodes",
+    "atpg_incomplete",
+)
+
+#: SubstitutionStats parallel/fault fields → parallel.* counters
+#: (these originate on the executors and the speculative engine).
+_PARALLEL_COUNTERS = (
+    "parallel_batches",
+    "parallel_pairs_evaluated",
+    "parallel_pairs_reused",
+    "parallel_pairs_invalidated",
+    "worker_faults",
+    "shards_redispatched",
+    "degraded_to_serial",
+)
+
+#: SubstitutionStats transactional-commit fields → resilience.*.
+_RESILIENCE_COUNTERS = (
+    "commits_verified",
+    "commits_rolled_back",
+    "pairs_quarantined",
+)
+
+
+def metrics_from_run(stats) -> MetricsRegistry:
+    """Absorb a :class:`SubstitutionStats` into a fresh registry.
+
+    Accepts the dataclass or its ``dataclasses.asdict`` form (what
+    ``--stats-json`` round-trips).  The ad-hoc ledgers map to::
+
+        substitution.<counter>      attempts, accepted, divide_calls, …
+        substitution.literals_*     gauges (before / after / improvement)
+        substitution.cpu_seconds    timing (one observation per run)
+        parallel.<counter>          batches, reuse, fault-containment
+        parallel.jobs               gauge
+        resilience.<counter>        verified / rolled-back / quarantined
+        resilience.incidents        counter (count of incident records)
+        budget.*                    the BudgetReport fields, or absent
+    """
+    if dataclasses.is_dataclass(stats):
+        data = dataclasses.asdict(stats)
+    else:
+        data = dict(stats)
+    registry = MetricsRegistry()
+
+    for field in _SUBSTITUTION_COUNTERS:
+        registry.counter(f"substitution.{field}").inc(int(data[field]))
+    registry.gauge("substitution.literals_before").set(
+        data["literals_before"]
+    )
+    registry.gauge("substitution.literals_after").set(
+        data["literals_after"]
+    )
+    before = data["literals_before"]
+    improvement = (
+        100.0 * (before - data["literals_after"]) / before if before else 0.0
+    )
+    registry.gauge("substitution.improvement_pct").set(improvement)
+    registry.timing("substitution.cpu_seconds").observe(
+        float(data["cpu_seconds"])
+    )
+
+    for field in _PARALLEL_COUNTERS:
+        name = field[len("parallel_"):] if field.startswith(
+            "parallel_"
+        ) else field
+        registry.counter(f"parallel.{name}").inc(int(data[field]))
+    registry.gauge("parallel.jobs").set(data["parallel_jobs"])
+
+    for field in _RESILIENCE_COUNTERS:
+        registry.counter(f"resilience.{field}").inc(int(data[field]))
+    registry.counter("resilience.incidents").inc(
+        len(data.get("incidents") or [])
+    )
+
+    report = data.get("budget_report")
+    if report is not None:
+        if dataclasses.is_dataclass(report):
+            report = dataclasses.asdict(report)
+        registry.gauge("budget.stopped").set(bool(report["stopped"]))
+        registry.gauge("budget.reason").set(report["reason"])
+        registry.gauge("budget.elapsed_seconds").set(
+            report["elapsed_seconds"]
+        )
+        registry.counter("budget.divide_calls").inc(
+            int(report["divide_calls"])
+        )
+        registry.counter("budget.backtracks").inc(int(report["backtracks"]))
+        registry.gauge("budget.deadline_seconds").set(
+            report["deadline_seconds"]
+        )
+        registry.gauge("budget.max_divide_calls").set(
+            report["max_divide_calls"]
+        )
+        registry.gauge("budget.max_backtracks").set(
+            report["max_backtracks"]
+        )
+    return registry
+
+
+def run_snapshot(stats) -> Dict[str, object]:
+    """Shorthand: ``metrics_from_run(stats).snapshot()``."""
+    return metrics_from_run(stats).snapshot()

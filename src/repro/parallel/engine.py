@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import DivisionConfig
 from repro.network.network import Network
+from repro.obs.tracer import as_tracer
 from repro.parallel.executor import make_executor
 from repro.parallel.worker import PairOutcome, make_payload
 from repro.resilience import inject
@@ -199,47 +200,64 @@ class SpeculativeEngine:
         self._stores: List[SpeculativeStore] = []
 
     def precompute(
-        self, network: Network, sim_filter=None
+        self, network: Network, sim_filter=None, tracer=None
     ) -> SpeculativeStore:
-        """Freeze *network*, evaluate all candidate pairs, build a store."""
+        """Freeze *network*, evaluate all candidate pairs, build a store.
+
+        With an enabled *tracer*, the enumeration and the speculative
+        evaluation record ``enumerate``/``speculate`` spans, and every
+        worker's locally-recorded spans are absorbed into the main
+        trace (tagged with the worker's ``proc`` label).
+        """
+        tracer = as_tracer(tracer)
         config = self.config
         store = SpeculativeStore(
             network,
             whole_network_sensitive=config.global_dc or config.oracle_dc,
         )
         self._stores.append(store)
-        pairs = enumerate_candidate_pairs(network, config)
+        with tracer.span("enumerate", scope="speculative") as enum_span:
+            pairs = enumerate_candidate_pairs(network, config)
+            enum_span.annotate(pairs=len(pairs))
         if not pairs:
             return store
         sim_snapshot = (
             sim_filter.sim.snapshot() if sim_filter is not None else None
         )
-        payload = make_payload(network, config, sim_snapshot)
+        payload = make_payload(
+            network, config, sim_snapshot, trace=tracer.enabled
+        )
         batches = shard_pairs(pairs, config.batch_size)
-        try:
-            # The with-block guarantees the pool is shut down (queued
-            # futures cancelled) even when evaluation raises, so an
-            # engine error can never leak live worker processes.
-            with make_executor(
-                payload,
-                config.n_jobs,
-                config.parallel_backend,
-                injection=inject.active(),
-                max_retries=config.max_shard_retries,
-            ) as executor:
-                outcomes = executor.evaluate(batches)
-                self.jobs = getattr(executor, "workers", config.n_jobs)
-                self.worker_faults += executor.worker_faults
-                self.shards_redispatched += executor.shards_redispatched
-                self.degraded_to_serial += executor.degraded_to_serial
-        except Exception:
-            # Final containment rung: speculation for this pass is
-            # abandoned; the store stays empty and substitute_pass
-            # evaluates every pair live, exactly as a serial run.
-            self.speculation_failures += 1
-            self.worker_faults += 1
-            self.degraded_to_serial += 1
-            return store
+        with tracer.span(
+            "speculate", batches=len(batches), pairs=len(pairs)
+        ) as spec_span:
+            try:
+                # The with-block guarantees the pool is shut down
+                # (queued futures cancelled) even when evaluation
+                # raises, so an engine error can never leak live
+                # worker processes.
+                with make_executor(
+                    payload,
+                    config.n_jobs,
+                    config.parallel_backend,
+                    injection=inject.active(),
+                    max_retries=config.max_shard_retries,
+                ) as executor:
+                    outcomes = executor.evaluate(batches)
+                    self.jobs = getattr(executor, "workers", config.n_jobs)
+                    self.worker_faults += executor.worker_faults
+                    self.shards_redispatched += executor.shards_redispatched
+                    self.degraded_to_serial += executor.degraded_to_serial
+                    tracer.absorb(executor.trace_events)
+            except Exception:
+                # Final containment rung: speculation for this pass is
+                # abandoned; the store stays empty and substitute_pass
+                # evaluates every pair live, exactly as a serial run.
+                self.speculation_failures += 1
+                self.worker_faults += 1
+                self.degraded_to_serial += 1
+                spec_span.annotate(failed=True)
+                return store
         for outcome in outcomes:
             store.record(outcome)
         self.batches += len(batches)

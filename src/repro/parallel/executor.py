@@ -59,6 +59,9 @@ class SerialExecutor:
 
     def __init__(self, payload: bytes, injection=None):
         self._context = WorkerContext(payload, injection=injection)
+        #: Worker-recorded trace events (empty when tracing is off);
+        #: the engine absorbs these into the main trace.
+        self.trace_events: List[dict] = []
 
     def evaluate(
         self, batches: Sequence[Sequence[Pair]]
@@ -66,6 +69,7 @@ class SerialExecutor:
         out: List[PairOutcome] = []
         for index, batch in enumerate(batches):
             out.extend(self._context.evaluate(batch, batch_index=index))
+        self.trace_events.extend(self._context.tracer.drain())
         return out
 
     def close(self, cancel: bool = False) -> None:
@@ -100,6 +104,7 @@ class ProcessExecutor:
         self.worker_faults = 0
         self.shards_redispatched = 0
         self.degraded_to_serial = 0
+        self.trace_events: List[dict] = []
         self._payload = payload
         self._injection = injection
         self._pool = self._spawn_pool()
@@ -152,7 +157,9 @@ class ProcessExecutor:
         failed: List[int] = []
         for index, future in futures.items():
             try:
-                results[index] = future.result()
+                outcomes, events = future.result()
+                results[index] = outcomes
+                self.trace_events.extend(events)
             except Exception:
                 # BrokenProcessPool, PicklingError, or an exception the
                 # worker raised: contain it to this shard.
@@ -191,6 +198,7 @@ class ProcessExecutor:
                 results[index] = fallback.evaluate(
                     pending[index], batch_index=index
                 )
+            self.trace_events.extend(fallback.tracer.drain())
         out: List[PairOutcome] = []
         for index in sorted(results):
             out.extend(results[index])

@@ -16,6 +16,7 @@ rests on).
 from __future__ import annotations
 
 import dataclasses
+import os
 import pickle
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from repro.core.division import (
     evaluate_division,
 )
 from repro.network.network import Network
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.resilience import inject
 from repro.sim.filter import DivisorFilter
 from repro.sim.signature import SignatureSimulator
@@ -61,7 +63,7 @@ class WorkerContext:
     """
 
     def __init__(self, payload: bytes, injection=None):
-        network, config, sim_snapshot = pickle.loads(payload)
+        network, config, sim_snapshot, trace = pickle.loads(payload)
         self.network: Network = network
         self.config: DivisionConfig = config
         self.injection = injection
@@ -70,6 +72,14 @@ class WorkerContext:
             sim = SignatureSimulator.from_snapshot(network, sim_snapshot)
             self.filter = DivisorFilter(network, config, sim=sim)
         self._n_enabled = len(enabled_attempts(config))
+        #: Worker-local tracer: spans recorded here are drained after
+        #: each batch and shipped back with the shard result, so the
+        #: main process can merge one trace for the whole run.  The
+        #: label stays unique even for the in-process serial backend
+        #: (same pid, different label).
+        self.tracer = (
+            Tracer(proc=f"worker-{os.getpid()}") if trace else NULL_TRACER
+        )
         # GDC analysis circuits are divisor-independent, so they are
         # cached per dividend for the lifetime of the (frozen) snapshot.
         self._circuits: Dict[str, object] = {}
@@ -78,49 +88,61 @@ class WorkerContext:
         self, pairs: Sequence[Tuple[str, str]], batch_index: int = 0
     ) -> List[PairOutcome]:
         inject.fire_batch_hooks(self.injection, batch_index)
-        network, config = self.network, self.config
+        network, config, tracer = self.network, self.config, self.tracer
         out: List[PairOutcome] = []
-        for f_name, d_name in pairs:
-            attempts = None
-            if self.filter is not None:
-                attempts = self.filter.viable_attempts(f_name, d_name)
-                if not attempts:
+        with tracer.span(
+            "worker_batch", batch=batch_index, pairs=len(pairs)
+        ):
+            for f_name, d_name in pairs:
+                with tracer.span(
+                    "pair", f=f_name, d=d_name, speculative=True
+                ) as pair_span:
+                    attempts = None
+                    if self.filter is not None:
+                        attempts = self.filter.viable_attempts(
+                            f_name, d_name
+                        )
+                        if not attempts:
+                            out.append(
+                                PairOutcome(f_name, d_name, True, 0, 0, None)
+                            )
+                            pair_span.annotate(pruned=True)
+                            continue
+                    divide_calls = (
+                        self._n_enabled if attempts is None else len(attempts)
+                    )
+                    variants_pruned = (
+                        0
+                        if attempts is None
+                        else self._n_enabled - len(attempts)
+                    )
+                    circuit = None
+                    if config.global_dc:
+                        circuit = self._circuits.get(f_name)
+                        if circuit is None:
+                            circuit = build_analysis_circuit(
+                                network, f_name, [], config
+                            )
+                            self._circuits[f_name] = circuit
+                    result = evaluate_division(
+                        network,
+                        f_name,
+                        d_name,
+                        config,
+                        attempts=attempts,
+                        circuit=circuit,
+                        tracer=tracer,
+                    )
                     out.append(
-                        PairOutcome(f_name, d_name, True, 0, 0, None)
+                        PairOutcome(
+                            f_name,
+                            d_name,
+                            False,
+                            divide_calls,
+                            variants_pruned,
+                            result,
+                        )
                     )
-                    continue
-            divide_calls = (
-                self._n_enabled if attempts is None else len(attempts)
-            )
-            variants_pruned = (
-                0 if attempts is None else self._n_enabled - len(attempts)
-            )
-            circuit = None
-            if config.global_dc:
-                circuit = self._circuits.get(f_name)
-                if circuit is None:
-                    circuit = build_analysis_circuit(
-                        network, f_name, [], config
-                    )
-                    self._circuits[f_name] = circuit
-            result = evaluate_division(
-                network,
-                f_name,
-                d_name,
-                config,
-                attempts=attempts,
-                circuit=circuit,
-            )
-            out.append(
-                PairOutcome(
-                    f_name,
-                    d_name,
-                    False,
-                    divide_calls,
-                    variants_pruned,
-                    result,
-                )
-            )
         inject.corrupt_outcomes(self.injection, batch_index, out)
         return out
 
@@ -129,10 +151,15 @@ def make_payload(
     network: Network,
     config: DivisionConfig,
     sim_snapshot: Optional[Dict[str, object]],
+    trace: bool = False,
 ) -> bytes:
-    """Pickle the frozen snapshot shipped to every worker once."""
+    """Pickle the frozen snapshot shipped to every worker once.
+
+    *trace* arms the workers' local tracers; their spans come back
+    with each shard result (see :func:`_pool_evaluate`).
+    """
     return pickle.dumps(
-        (network, config, sim_snapshot), pickle.HIGHEST_PROTOCOL
+        (network, config, sim_snapshot, trace), pickle.HIGHEST_PROTOCOL
     )
 
 
@@ -149,6 +176,8 @@ def _pool_init(payload: bytes, injection=None) -> None:
 
 def _pool_evaluate(
     batch_index: int, pairs: Sequence[Tuple[str, str]]
-) -> List[PairOutcome]:
+) -> Tuple[List[PairOutcome], List[dict]]:
+    """Evaluate one shard; returns (outcomes, worker trace events)."""
     assert _CONTEXT is not None, "worker used before initialization"
-    return _CONTEXT.evaluate(pairs, batch_index=batch_index)
+    outcomes = _CONTEXT.evaluate(pairs, batch_index=batch_index)
+    return outcomes, _CONTEXT.tracer.drain()

@@ -29,6 +29,8 @@ from repro.network.extract import gcx, gkx
 from repro.network.verify import networks_equivalent, simulate_equivalent
 from repro.core.config import BASIC, EXTENDED, EXTENDED_GDC, DivisionConfig
 from repro.core.substitution import SubstitutionStats, substitute_network
+from repro.obs.metrics import run_snapshot
+from repro.obs.tracer import as_tracer
 from repro.scripts.tables import TableResult, TableRow
 
 
@@ -95,10 +97,11 @@ def run_method(
     method: str,
     config_overrides: Optional[Dict[str, object]] = None,
     budget=None,
+    tracer=None,
 ) -> Dict[str, object]:
     """Apply one substitution method in place; returns lit/cpu stats
-    (plus the full :class:`SubstitutionStats` under ``"stats"`` for the
-    RAR methods).
+    (plus the full :class:`SubstitutionStats` under ``"stats"`` and the
+    metrics snapshot under ``"metrics"`` for the RAR methods).
 
     *config_overrides* replaces fields of the method's base
     :class:`DivisionConfig` (e.g. ``{"enable_sim_filter": False}``);
@@ -106,9 +109,13 @@ def run_method(
     registrations in :data:`METHODS`).  *budget* is an optional
     :class:`~repro.resilience.budget.RunBudget` shared with the run —
     pass one to spread a single deadline over several calls (also
-    rejected for configless methods).
+    rejected for configless methods).  *tracer* is an optional
+    :class:`~repro.obs.tracer.Tracer` threaded through the whole run;
+    like the other knobs it requires a :class:`DivisionConfig` method —
+    SIS resub has no span instrumentation.
     """
-    if config_overrides or budget is not None:
+    tracer = as_tracer(tracer)
+    if config_overrides or budget is not None or tracer.enabled:
         base = METHOD_CONFIGS.get(method)
         if base is None:
             raise ValueError(
@@ -117,7 +124,9 @@ def run_method(
         config = dataclasses.replace(base, **(config_overrides or {}))
 
         def runner(net: Network, config=config):
-            return substitute_network(net, config, budget=budget)
+            return substitute_network(
+                net, config, budget=budget, tracer=tracer
+            )
 
     else:
         runner = METHODS[method]
@@ -131,8 +140,9 @@ def run_method(
     if isinstance(outcome, SubstitutionStats):
         # Full run statistics (worker counters included) for callers
         # that report more than the table columns, e.g. the CLI's
-        # ``--stats-json``.
+        # ``--stats-json``, plus the unified metrics snapshot.
         result["stats"] = dataclasses.asdict(outcome)
+        result["metrics"] = run_snapshot(outcome)
     return result
 
 

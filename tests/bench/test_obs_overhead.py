@@ -1,0 +1,49 @@
+"""Smoke benchmark: disabled tracing costs < 2% (``bench_smoke``).
+
+Writes ``benchmarks/results/BENCH_obs_overhead.json`` and asserts the
+analytic overhead bound (span count × measured null-span cost, over
+the disabled run's wall time) stays under the 2% acceptance criterion,
+plus byte-identical output between disabled and enabled runs.
+"""
+
+import json
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    sys.gettrace() is not None,
+    reason="timing benchmark is meaningless under a settrace collector "
+    "(coverage gate); run it in a plain tier-1 pass",
+)
+
+from repro.bench.obsbench import (
+    DEFAULT_RESULT_PATH,
+    OVERHEAD_BOUND,
+    null_span_cost,
+    run_obs_overhead_benchmark,
+)
+
+
+@pytest.mark.bench_smoke
+def test_disabled_tracer_overhead_under_bound_on_rnd8():
+    report = run_obs_overhead_benchmark(circuits=("rnd8",))
+    assert report["all_outputs_identical"]
+    assert report["max_overhead_bound"] < OVERHEAD_BOUND, (
+        f"disabled tracing bound {report['max_overhead_bound']:.4%} "
+        f"exceeds {OVERHEAD_BOUND:.0%}"
+    )
+    on_disk = json.loads(DEFAULT_RESULT_PATH.read_text())
+    assert on_disk["benchmark"] == "obs_overhead"
+    row = on_disk["circuits"][0]
+    assert row["circuit"] == "rnd8"
+    assert row["spans"] > 0
+    assert row["disabled_wall_seconds"] > 0
+
+
+@pytest.mark.bench_smoke
+def test_null_span_is_submicrosecond():
+    # The whole design rests on the disabled span being ~free; a
+    # regression to e.g. dict allocation per span would show up here
+    # long before it moved a wall-clock benchmark.
+    assert null_span_cost(iterations=50_000) < 2e-6

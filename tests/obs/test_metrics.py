@@ -1,0 +1,176 @@
+"""Unit tests for the metrics registry and the run-ledger absorption."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.substitution import SubstitutionStats
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimingSummary,
+    metrics_from_run,
+    run_snapshot,
+)
+from repro.resilience.budget import RunBudget
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def test_counter_is_monotone():
+    counter = Counter("x")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError, match="negative"):
+        counter.inc(-1)
+    assert counter.value == 5
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge("g")
+    assert gauge.value is None
+    gauge.set(3)
+    gauge.set("reason")
+    assert gauge.value == "reason"
+
+
+def test_timing_summary_aggregates():
+    timing = TimingSummary("t")
+    assert timing.summary()["mean"] is None
+    for value in (2.0, 1.0, 4.0):
+        timing.observe(value)
+    summary = timing.summary()
+    assert summary["count"] == 3
+    assert summary["total"] == 7.0
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+    assert summary["mean"] == pytest.approx(7.0 / 3.0)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("substitution.attempts")
+    b = registry.counter("substitution.attempts")
+    assert a is b
+    a.inc(2)
+    assert registry.snapshot()["counters"]["substitution.attempts"] == 2
+
+
+def test_registry_rejects_cross_type_name_reuse():
+    registry = MetricsRegistry()
+    registry.counter("x.y")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("x.y")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.timing("x.y")
+
+
+def test_snapshot_is_json_ready_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc(2)
+    registry.gauge("g").set(1.5)
+    registry.timing("t").observe(0.25)
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["a", "b"]
+    # Must round-trip through JSON without custom encoders.
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+# ----------------------------------------------------------------------
+# Run absorption
+# ----------------------------------------------------------------------
+def _stats(**overrides) -> SubstitutionStats:
+    stats = SubstitutionStats(
+        attempts=10,
+        accepted=3,
+        literals_before=100,
+        literals_after=80,
+        cpu_seconds=1.5,
+        divide_calls=40,
+        parallel_jobs=2,
+        parallel_batches=4,
+        worker_faults=1,
+        commits_verified=3,
+    )
+    for name, value in overrides.items():
+        setattr(stats, name, value)
+    return stats
+
+
+def test_metrics_from_run_maps_namespaces():
+    snapshot = run_snapshot(_stats())
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    assert counters["substitution.attempts"] == 10
+    assert counters["substitution.accepted"] == 3
+    assert counters["parallel.batches"] == 4
+    assert counters["parallel.worker_faults"] == 1
+    assert counters["resilience.commits_verified"] == 3
+    assert counters["resilience.incidents"] == 0
+    assert gauges["substitution.literals_before"] == 100
+    assert gauges["substitution.literals_after"] == 80
+    assert gauges["substitution.improvement_pct"] == pytest.approx(20.0)
+    assert gauges["parallel.jobs"] == 2
+    timing = snapshot["timings"]["substitution.cpu_seconds"]
+    assert timing["count"] == 1
+    assert timing["total"] == pytest.approx(1.5)
+    # No budget on this run → no budget namespace at all.
+    assert not any(k.startswith("budget.") for k in counters)
+    assert not any(k.startswith("budget.") for k in gauges)
+
+
+def test_metrics_from_run_accepts_asdict_form():
+    stats = _stats()
+    from_dataclass = run_snapshot(stats)
+    from_dict = run_snapshot(dataclasses.asdict(stats))
+    assert from_dataclass == from_dict
+
+
+def test_metrics_from_run_budget_and_incidents():
+    budget = RunBudget(deadline_seconds=10.0, clock=lambda: 0.0)
+    budget.divide_calls = 7
+    budget.atpg_incomplete = 2
+    stats = _stats(
+        incidents=[{"pair": ["a", "b"]}, {"pair": ["c", "d"]}],
+        budget_report=budget.report(),
+    )
+    snapshot = run_snapshot(stats)
+    assert snapshot["counters"]["resilience.incidents"] == 2
+    assert snapshot["counters"]["budget.divide_calls"] == 7
+    assert snapshot["gauges"]["budget.stopped"] is False
+    assert snapshot["gauges"]["budget.deadline_seconds"] == 10.0
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+def test_metrics_from_run_zero_division_guard():
+    snapshot = run_snapshot(_stats(literals_before=0, literals_after=0))
+    assert snapshot["gauges"]["substitution.improvement_pct"] == 0.0
+
+
+def test_metrics_from_run_covers_every_counter_field():
+    """Every int counter field of SubstitutionStats lands in the
+    snapshot under some namespace (no silently dropped ledgers)."""
+    stats = SubstitutionStats()
+    numbered = {
+        f.name
+        for f in dataclasses.fields(SubstitutionStats)
+        if f.type == "int"
+    }
+    snapshot = run_snapshot(stats)
+    mapped = set()
+    for name in list(snapshot["counters"]) + list(snapshot["gauges"]):
+        mapped.add(name.split(".", 1)[1])
+        # parallel.* strips its prefix; map back for the check.
+        mapped.add("parallel_" + name.split(".", 1)[1])
+    missing = {f for f in numbered if f not in mapped}
+    assert not missing, f"stats fields not exported: {sorted(missing)}"

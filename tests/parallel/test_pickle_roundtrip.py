@@ -120,8 +120,11 @@ def test_worker_payload_is_self_contained():
     sim = SignatureSimulator(net, patterns=64)
     payload = make_payload(net, BASIC, sim.snapshot())
     assert isinstance(payload, bytes)
-    network, config, snapshot = pickle.loads(payload)
+    network, config, snapshot, trace = pickle.loads(payload)
     assert network is not net
     assert to_blif_str(network) == to_blif_str(net)
     assert config == BASIC
     assert snapshot["signatures"].keys() == sim.snapshot()["signatures"].keys()
+    # Tracing defaults to off in the payload; workers must not build
+    # live tracers unless the main process armed them.
+    assert trace is False
