@@ -41,27 +41,28 @@ REPO = pathlib.Path(__file__).resolve().parents[1]
 SRC = REPO / "src"
 PACKAGE_ROOT = SRC / "repro"
 
-#: Ratcheted minimum line coverage (percent) per package: set ~3
+#: Ratcheted minimum line coverage (percent) per package: set a few
 #: points under the measured full-tier-1 value (2026-08, all packages
-#: were 90.4-97.9%) so incidental drift fails loudly without making
+#: were 86.0-96.1%) so incidental drift fails loudly without making
 #: timing-dependent branches flaky.  The obs subsystem additionally
-#: carries the hard acceptance floor of 90%; raise floors as coverage
-#: improves, never lower them to dodge a failure.
+#: carries the hard acceptance floor of 90% — its floor covers the
+#: analyze/export/history/regress analytics storey too; raise floors
+#: as coverage improves, never lower them to dodge a failure.
 FLOORS: Dict[str, float] = {
-    "obs": 94.0,       # measured 97.9; hard requirement >= 90
-    "atpg": 92.0,      # measured 95.0
-    "baselines": 90.0,  # measured 94.9
+    "obs": 94.0,       # measured 95.9 incl. analytics; hard req >= 90
+    "atpg": 92.0,      # measured 95.2
+    "baselines": 90.0,  # measured 94.6
     "bdd": 91.0,       # measured 94.7
     "circuit": 91.0,   # measured 94.5
-    "core": 90.0,      # measured 93.5
+    "core": 90.0,      # measured 93.6
     "network": 92.0,   # measured 95.4
     "parallel": 91.0,  # measured 94.5
     "resilience": 90.0,  # measured 93.3
     "scripts": 91.0,   # measured 95.2
     "sim": 91.0,       # measured 94.2
     "twolevel": 93.0,  # measured 96.1
-    "(root)": 88.0,    # measured 92.2 (cli.py, __main__.py)
-    "bench": 85.0,     # measured 90.4 (drivers exercised via bench_smoke)
+    "(root)": 88.0,    # measured 92.1 (cli.py, __main__.py)
+    "bench": 85.0,     # measured 86.0 (drivers exercised via bench_smoke)
 }
 
 

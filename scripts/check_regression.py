@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI regression gate over run snapshots and the run history.
+
+Thin, exit-code-driven wrapper around :mod:`repro.obs.regress` — the
+same comparator as ``repro compare`` — intended for CI::
+
+    # gate a fresh run against the committed cross-PR history
+    python -m repro optimize bench:rnd8 --method ext \
+        --stats-json new.json
+    python scripts/check_regression.py \
+        --base benchmarks/results/history.jsonl --new new.json \
+        --circuit rnd8 --fail-on-regression 25
+
+Exit codes: ``0`` clean, ``1`` regression (deterministic counter
+drift, dropped metric, or wall time beyond the slack), ``2`` bad
+input.  Deterministic counters (``divide_calls``, ``accepted``,
+literal counts, …) always gate; wall times only gate when
+``--fail-on-regression PCT`` is given, because wall comparisons are
+only meaningful between runs on the same machine — CI asserts that by
+passing the flag.
+
+``--base``/``--new`` accept ``--stats-json`` reports, raw metrics
+snapshots, or ``*.jsonl`` history ledgers (resolved to their latest
+record, optionally ``--circuit``-filtered).  A missing-but-allowed
+baseline (``--allow-missing-base``) exits 0 so the gate bootstraps on
+a branch whose history has no comparable record yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.regress import (  # noqa: E402 (path bootstrap above)
+    compare_snapshots,
+    format_comparison,
+    load_comparable,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--base",
+        required=True,
+        help="baseline: stats-json report, snapshot, or history ledger",
+    )
+    parser.add_argument(
+        "--new",
+        required=True,
+        help="candidate: stats-json report, snapshot, or history ledger",
+    )
+    parser.add_argument(
+        "--circuit",
+        help="resolve history ledgers to this circuit's latest record",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="also gate wall times, with PCT percent slack",
+    )
+    parser.add_argument(
+        "--allow-missing-base",
+        action="store_true",
+        help="exit 0 (with a notice) when the baseline has no "
+        "comparable record — first run on a fresh history",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the comparison report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        base_snapshot, base_wall, base_label = load_comparable(
+            args.base, circuit=args.circuit
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        if args.allow_missing_base:
+            print(f"no baseline ({exc}); gate passes vacuously")
+            return 0
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        new_snapshot, new_wall, new_label = load_comparable(
+            args.new, circuit=args.circuit
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = compare_snapshots(
+        base_snapshot,
+        new_snapshot,
+        time_slack_pct=args.fail_on_regression,
+        base_wall=base_wall,
+        new_wall=new_wall,
+    )
+    print(format_comparison(report, base_label, new_label))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,9 @@ output parity (the commit protocol guarantees byte-identical BLIF, so
 literal counts and accepted rewrites must match exactly), wall-clock
 speedup, and the speculation counters (pairs evaluated / reused /
 invalidated).  :func:`run_parallel_benchmark` writes the comparison as
-JSON (``BENCH_parallel.json``) for tracking across revisions.
+JSON (``BENCH_parallel.json``) and appends the serial baseline's
+metrics snapshot to the cross-PR run history
+(``benchmarks/results/history.jsonl``) for tracking across revisions.
 
 Speedup on this engine is bounded by the physical core count —
 ``machine.cpu_count`` is recorded in the report so a run on a
@@ -21,13 +23,19 @@ import json
 import os
 import pathlib
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench.suite import build_benchmark
 from repro.core.config import BASIC, DivisionConfig
 from repro.core.substitution import substitute_network
 from repro.network.blif import to_blif_str
 from repro.network.network import Network
+from repro.obs.history import (
+    DEFAULT_HISTORY_PATH,
+    append_record,
+    make_record,
+)
+from repro.obs.metrics import run_snapshot
 
 #: Default output location: ``benchmarks/results/BENCH_parallel.json``
 #: at the repository root.
@@ -50,6 +58,7 @@ def run_circuit(
     stats = substitute_network(network, config, n_jobs=n_jobs)
     elapsed = time.perf_counter() - start
     return {
+        "snapshot": run_snapshot(stats),
         "literals_before": stats.literals_before,
         "literals_after": stats.literals_after,
         "accepted": stats.accepted,
@@ -93,12 +102,40 @@ def run_parallel_benchmark(
     config: DivisionConfig = BASIC,
     job_counts: Sequence[int] = DEFAULT_JOB_COUNTS,
     output_path: Optional[pathlib.Path] = None,
+    history_path: Union[str, pathlib.Path, None] = DEFAULT_HISTORY_PATH,
 ) -> Dict[str, object]:
-    """Run :func:`compare_on` over the named suite circuits; write JSON."""
+    """Run :func:`compare_on` over the named suite circuits; write JSON.
+
+    The serial baseline of each circuit is also appended to the run
+    history — pass ``history_path=None`` to skip.  The per-run
+    snapshots are popped from the JSON report: the history ledger is
+    their long-term home.
+    """
     rows: List[Dict[str, object]] = [
         compare_on(build_benchmark(name), config, job_counts)
         for name in names
     ]
+    for row in rows:
+        serial_snapshot = row["serial"].pop("snapshot")
+        speedups = {}
+        for jobs, run in row["parallel"].items():
+            run.pop("snapshot")
+            speedups[jobs] = run["speedup"]
+        if history_path is not None:
+            append_record(
+                make_record(
+                    bench="parallelbench",
+                    circuit=row["circuit"],
+                    metrics=serial_snapshot,
+                    config=config,
+                    wall_seconds=row["serial"]["seconds"],
+                    extra={
+                        "speedups": speedups,
+                        "output_identical": row["output_identical"],
+                    },
+                ),
+                path=history_path,
+            )
     cpu_count = os.cpu_count() or 1
     best = {
         f"jobs{n}": max(

@@ -5,8 +5,9 @@ circuit — with ``enable_sim_filter`` off and on — and reports literal
 parity (the filter is sound, so final literal counts must match
 exactly), the reduction in ``boolean_divide`` invocations, and the
 wall-clock speedup.  :func:`run_sim_filter_benchmark` writes the whole
-comparison as JSON (``BENCH_sim_filter.json``) for tracking across
-revisions.
+comparison as JSON (``BENCH_sim_filter.json``) and appends the
+filtered run's metrics snapshot to the cross-PR run history
+(``benchmarks/results/history.jsonl``) for tracking across revisions.
 """
 
 from __future__ import annotations
@@ -15,12 +16,18 @@ import dataclasses
 import json
 import pathlib
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench.suite import build_benchmark
 from repro.core.config import BASIC, DivisionConfig
 from repro.core.substitution import substitute_network
 from repro.network.network import Network
+from repro.obs.history import (
+    DEFAULT_HISTORY_PATH,
+    append_record,
+    make_record,
+)
+from repro.obs.metrics import run_snapshot
 
 #: Default output location: ``benchmarks/results/BENCH_sim_filter.json``
 #: at the repository root.
@@ -38,6 +45,7 @@ def run_circuit(network: Network, config: DivisionConfig) -> Dict[str, float]:
     stats = substitute_network(network, config)
     elapsed = time.perf_counter() - start
     return {
+        "snapshot": run_snapshot(stats),
         "literals_before": stats.literals_before,
         "literals_after": stats.literals_after,
         "seconds": elapsed,
@@ -79,11 +87,38 @@ def run_sim_filter_benchmark(
     names: Sequence[str],
     config: DivisionConfig = BASIC,
     output_path: Optional[pathlib.Path] = None,
+    history_path: Union[str, pathlib.Path, None] = DEFAULT_HISTORY_PATH,
 ) -> Dict[str, object]:
-    """Run :func:`compare_on` over the named suite circuits; write JSON."""
+    """Run :func:`compare_on` over the named suite circuits; write JSON.
+
+    The filtered (production-configuration) run of each circuit is
+    also appended to the run history — pass ``history_path=None`` to
+    skip.  The per-run snapshots are popped from the JSON report: the
+    history ledger is their long-term home.
+    """
     rows: List[Dict[str, object]] = [
         compare_on(build_benchmark(name), config) for name in names
     ]
+    filtered_config = dataclasses.replace(config, enable_sim_filter=True)
+    for row in rows:
+        row["unfiltered"].pop("snapshot")
+        on_snapshot = row["filtered"].pop("snapshot")
+        if history_path is not None:
+            append_record(
+                make_record(
+                    bench="simbench",
+                    circuit=row["circuit"],
+                    metrics=on_snapshot,
+                    config=filtered_config,
+                    wall_seconds=row["filtered"]["seconds"],
+                    extra={
+                        "divide_call_ratio": row["divide_call_ratio"],
+                        "speedup": row["speedup"],
+                        "literal_parity": row["literal_parity"],
+                    },
+                ),
+                path=history_path,
+            )
     report = {
         "benchmark": "sim_filter",
         "config_mode": config.mode,

@@ -15,6 +15,15 @@ Usage::
     python -m repro optimize design.blif --method ext -o out.blif
     python -m repro optimize bench:rnd2 --script A --method ext_gdc
     python -m repro optimize design.blif --jobs 4 --stats-json run.json
+
+    # analyze a --trace file: critical path / Chrome trace / flamegraph
+    python -m repro trace report run.jsonl
+    python -m repro trace chrome run.jsonl -o run.chrome.json
+    python -m repro trace flame run.jsonl -o run.folded
+
+    # regression-gate two runs (stats-json reports or history ledgers)
+    python -m repro compare base.json new.json --fail-on-regression 20
+    python -m repro compare benchmarks/results/history.jsonl new.json
 """
 
 from __future__ import annotations
@@ -154,6 +163,24 @@ def _optimize_main(argv: List[str]) -> int:
             "after the run"
         ),
     )
+    parser.add_argument(
+        "--profile-json",
+        metavar="FILE",
+        help=(
+            "write the per-phase profile rollup as JSON (the same "
+            "aggregation --profile prints, archivable and diffable "
+            "alongside --stats-json)"
+        ),
+    )
+    parser.add_argument(
+        "--history",
+        metavar="FILE.jsonl",
+        help=(
+            "append this run's metrics snapshot (plus machine "
+            "fingerprint, git SHA and config hash) to a run-history "
+            "ledger; see benchmarks/results/history.jsonl"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.network.blif import BlifParseError, read_blif, to_blif_str
@@ -199,13 +226,20 @@ def _optimize_main(argv: List[str]) -> int:
         overrides["deadline_seconds"] = args.deadline
     if args.verify_commits:
         overrides["verify_commits"] = True
-    if (overrides or args.trace or args.profile) and args.method == "sis":
+    if (
+        overrides
+        or args.trace
+        or args.profile
+        or args.profile_json
+        or args.history
+    ) and args.method == "sis":
         parser.error(
             "--no-sim-filter/--sim-patterns/--jobs/--deadline/"
-            "--verify-commits/--trace/--profile do not apply to sis"
+            "--verify-commits/--trace/--profile/--profile-json/"
+            "--history do not apply to sis"
         )
     tracer = None
-    if args.trace or args.profile:
+    if args.trace or args.profile or args.profile_json:
         from repro.obs.tracer import Tracer
 
         tracer = Tracer()
@@ -256,13 +290,18 @@ def _optimize_main(argv: List[str]) -> int:
                 f"# trace: {len(tracer.events)} spans -> {args.trace}",
                 file=sys.stderr,
             )
-        if args.profile:
+        if args.profile or args.profile_json:
             from repro.obs.profile import format_profile, profile_events
 
-            print(
-                format_profile(profile_events(tracer.events)),
-                file=sys.stderr,
-            )
+            rollup = profile_events(tracer.events)
+            if args.profile:
+                print(format_profile(rollup), file=sys.stderr)
+            if args.profile_json:
+                import json
+
+                with open(args.profile_json, "w") as handle:
+                    json.dump(rollup, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
     if args.stats_json:
         import json
 
@@ -280,6 +319,32 @@ def _optimize_main(argv: List[str]) -> int:
         with open(args.stats_json, "w") as handle:
             json.dump(report, handle, indent=2)
             handle.write("\n")
+    if args.history:
+        from repro.obs.history import append_record, make_record
+
+        if stats.get("metrics") is None:
+            print(
+                "error: --history needs a metrics-producing method",
+                file=sys.stderr,
+            )
+            return 2
+        append_record(
+            make_record(
+                bench="cli-optimize",
+                circuit=network.name,
+                metrics=stats["metrics"],
+                config=stats.get("config"),
+                wall_seconds=stats["cpu"],
+                extra={
+                    "method": args.method,
+                    "script": args.script,
+                    "literals_initial": initial,
+                    "literals_final": int(stats["literals"]),
+                },
+            ),
+            path=args.history,
+        )
+        print(f"# history: appended -> {args.history}", file=sys.stderr)
     print(
         f"# {network.name}: {initial} -> {int(stats['literals'])} "
         f"factored literals ({args.method}, {stats['cpu']:.2f}s)",
@@ -294,12 +359,156 @@ def _method_table():
     return METHODS
 
 
+def _trace_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Analyze or convert a --trace JSONL file: 'report' prints "
+            "the critical path, per-kind rollup and worker "
+            "utilization; 'chrome' converts losslessly to Chrome "
+            "trace-event / Perfetto JSON; 'flame' emits folded "
+            "flamegraph.pl stack lines weighted by self wall time."
+        ),
+    )
+    parser.add_argument("verb", choices=["report", "chrome", "flame"])
+    parser.add_argument("file", help="trace file written by --trace")
+    parser.add_argument(
+        "-o",
+        "--output",
+        help="write here instead of stdout",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="slowest spans listed per kind in 'report' (default: 10)",
+    )
+    args = parser.parse_args(argv)
+    if args.top < 0:
+        parser.error("--top must be >= 0")
+
+    from repro.obs.tracer import read_jsonl
+
+    try:
+        events = read_jsonl(args.file)
+    except OSError as exc:
+        print(f"error: cannot read {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.verb == "report":
+        from repro.obs.analyze import analyze_trace, format_report
+
+        text = format_report(analyze_trace(events, top_n=args.top)) + "\n"
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+        else:
+            sys.stdout.write(text)
+    elif args.verb == "chrome":
+        from repro.obs.export import export_chrome_trace
+
+        export_chrome_trace(events, args.output or sys.stdout)
+    else:
+        from repro.obs.export import export_folded_stacks
+
+        export_folded_stacks(events, args.output or sys.stdout)
+    if args.output:
+        print(
+            f"# {args.verb}: {len(events)} spans -> {args.output}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _compare_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro compare",
+        description=(
+            "Diff two run snapshots for regressions.  Deterministic "
+            "counters (divide_calls, accepted, literal counts) must "
+            "match exactly; wall times are gated only with "
+            "--fail-on-regression.  BASE/NEW are --stats-json "
+            "reports, raw metrics snapshots, or *.jsonl run-history "
+            "ledgers (latest record, optionally --circuit filtered)."
+        ),
+    )
+    parser.add_argument("base", help="baseline snapshot or history ledger")
+    parser.add_argument("new", help="candidate snapshot or history ledger")
+    parser.add_argument(
+        "--circuit",
+        help="pick the latest history record for this circuit id",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "also fail when a wall-time metric worsens by more than "
+            "PCT percent (only meaningful for runs from the same "
+            "machine)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the full comparison report as JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.fail_on_regression is not None and args.fail_on_regression < 0:
+        parser.error("--fail-on-regression must be >= 0")
+
+    import json
+
+    from repro.obs.regress import (
+        compare_snapshots,
+        format_comparison,
+        load_comparable,
+    )
+
+    try:
+        base_snapshot, base_wall, base_label = load_comparable(
+            args.base, circuit=args.circuit
+        )
+        new_snapshot, new_wall, new_label = load_comparable(
+            args.new, circuit=args.circuit
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = compare_snapshots(
+        base_snapshot,
+        new_snapshot,
+        time_slack_pct=args.fail_on_regression,
+        base_wall=base_wall,
+        new_wall=new_wall,
+    )
+    print(format_comparison(report, base_label, new_label))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report.ok else 1
+
+
 def main(argv: List[str] = None) -> int:
     """CLI entry point; see the module docstring for usage."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "optimize":
         return _optimize_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+    if argv and argv[0] == "compare":
+        return _compare_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(

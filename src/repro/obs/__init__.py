@@ -14,6 +14,22 @@ Three zero-dependency building blocks:
   pair-enumeration / divide / ATPG-region-removal / commit / verify)
   over a trace's events.
 
+Built on top of those, the analytics storey (PR 5):
+
+* :mod:`repro.obs.analyze` — span-forest reconstruction, critical
+  path, per-kind/per-proc self-time aggregates, hottest spans, worker
+  utilization and speculative-store reuse rates (``repro trace
+  report``);
+* :mod:`repro.obs.export` — lossless Chrome trace-event / Perfetto
+  conversion and folded-stack flamegraph lines (``repro trace
+  chrome|flame``);
+* :mod:`repro.obs.history` — the append-only cross-PR run ledger
+  ``benchmarks/results/history.jsonl`` (metrics snapshot + machine
+  fingerprint + git SHA + config hash per run);
+* :mod:`repro.obs.regress` — the snapshot comparator behind ``repro
+  compare`` and ``scripts/check_regression.py`` (exact equality for
+  deterministic counters, slack-thresholded wall times).
+
 The tracer is threaded through :func:`~repro.core.substitution.
 substitute_network`, the division engine, the ATPG loops and the
 parallel stack — worker processes record spans locally and ship them
@@ -46,6 +62,36 @@ from repro.obs.profile import (
     profile_events,
     profile_tracer,
 )
+from repro.obs.analyze import (
+    analyze_trace,
+    build_forest,
+    critical_path,
+    format_report,
+    ledger_rates,
+    top_spans,
+    worker_utilization,
+)
+from repro.obs.export import (
+    chrome_to_events,
+    export_chrome_trace,
+    export_folded_stacks,
+    to_chrome_trace,
+    to_folded_stacks,
+)
+from repro.obs.history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA_VERSION,
+    append_record,
+    latest_record,
+    make_record,
+    read_history,
+)
+from repro.obs.regress import (
+    ComparisonReport,
+    compare_snapshots,
+    format_comparison,
+    load_comparable,
+)
 
 __all__ = [
     "NULL_TRACER",
@@ -66,4 +112,26 @@ __all__ = [
     "format_profile",
     "profile_events",
     "profile_tracer",
+    "analyze_trace",
+    "build_forest",
+    "critical_path",
+    "format_report",
+    "ledger_rates",
+    "top_spans",
+    "worker_utilization",
+    "chrome_to_events",
+    "export_chrome_trace",
+    "export_folded_stacks",
+    "to_chrome_trace",
+    "to_folded_stacks",
+    "DEFAULT_HISTORY_PATH",
+    "HISTORY_SCHEMA_VERSION",
+    "append_record",
+    "latest_record",
+    "make_record",
+    "read_history",
+    "ComparisonReport",
+    "compare_snapshots",
+    "format_comparison",
+    "load_comparable",
 ]

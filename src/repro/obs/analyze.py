@@ -1,0 +1,387 @@
+"""Trace analytics: span forest, critical path, hot spans, utilization.
+
+The tracer (:mod:`repro.obs.tracer`) writes schema-v1 events — flat
+JSONL lines with ``(proc, id)`` primary keys and ``parent`` links.
+This module turns that flat list back into the tree it came from and
+answers the questions the raw data cannot:
+
+* **Where did the time go?**  :func:`critical_path` walks the heaviest
+  root-to-leaf chain; :func:`aggregate_by_kind` /
+  :func:`aggregate_by_proc_kind` roll wall/CPU/self-wall up per span
+  kind (and per recording process, so worker seconds are not
+  misattributed to the main process's clock).
+* **Which candidates dominate?**  :func:`top_spans` ranks the slowest
+  ``pair`` / ``divide`` / ``atpg`` spans with their attrs, so "which
+  divisor pairs dominate ATPG backtracks" is one function call.
+* **Were the workers busy?**  :func:`worker_utilization` reports each
+  ``worker-*`` process's busy fraction and idle gaps between its root
+  spans; :func:`ledger_rates` reads the speculative-store economics
+  (pairs speculated vs. served vs. invalidated-and-re-evaluated) off
+  the ``speculate`` and ``pair`` spans.
+
+Everything operates on plain event dicts (from
+:func:`~repro.obs.tracer.read_jsonl` or a live
+:class:`~repro.obs.tracer.Tracer`'s ``events``) and returns JSON-ready
+structures; :func:`format_report` renders the full
+:func:`analyze_trace` bundle as the text behind ``repro trace
+report``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Span kinds ranked by default in the hot-span report.
+DEFAULT_TOP_KINDS = ("pair", "divide", "atpg")
+
+
+class SpanNode:
+    """One event plus its resolved tree links."""
+
+    __slots__ = ("event", "children")
+
+    def __init__(self, event: dict):
+        self.event = event
+        self.children: List["SpanNode"] = []
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.event["proc"], self.event["id"])
+
+    @property
+    def dur(self) -> float:
+        return self.event["dur"]
+
+    def self_wall(self) -> float:
+        """Wall time not covered by direct children."""
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+
+class SpanForest:
+    """The reconstructed span trees of one (possibly merged) trace.
+
+    Parent links only resolve within one ``proc`` (span ids are
+    per-tracer); a span whose parent id is ``-1`` — or references an
+    id its own proc never recorded, which happens when a worker's
+    partial trace is merged — is a root.
+    """
+
+    def __init__(self, events: Iterable[dict]):
+        self.nodes: Dict[Tuple[str, int], SpanNode] = {}
+        self.roots: List[SpanNode] = []
+        events = list(events)
+        for event in events:
+            node = SpanNode(event)
+            if node.key in self.nodes:
+                raise ValueError(
+                    f"duplicate span key {node.key} in trace"
+                )
+            self.nodes[node.key] = node
+        for node in self.nodes.values():
+            parent_key = (node.event["proc"], node.event["parent"])
+            parent = self.nodes.get(parent_key)
+            if node.event["parent"] < 0 or parent is None:
+                self.roots.append(node)
+            else:
+                parent.children.append(node)
+        # Deterministic order: children by start time, roots by
+        # (proc, start) so reports are stable across dict ordering.
+        for node in self.nodes.values():
+            node.children.sort(key=lambda n: n.event["start"])
+        self.roots.sort(key=lambda n: (n.event["proc"], n.event["start"]))
+
+    def procs(self) -> List[str]:
+        return sorted({node.event["proc"] for node in self.nodes.values()})
+
+
+def build_forest(events: Iterable[dict]) -> SpanForest:
+    """Reconstruct the span forest of a trace."""
+    return SpanForest(events)
+
+
+# ----------------------------------------------------------------------
+# Critical path
+# ----------------------------------------------------------------------
+def critical_path(forest: SpanForest) -> List[dict]:
+    """The heaviest root-to-leaf chain, as event dicts (root first).
+
+    Starts from the longest root span (across all procs — in practice
+    the main process's ``run`` span) and greedily descends into the
+    longest direct child.  Because spans nest strictly within their
+    parent's interval on one proc's clock, every step's duration is
+    bounded by the step above it, so the chain reads as "the run spent
+    most of its time in this pass, which spent most of its time in
+    this pair, …".
+    """
+    if not forest.roots:
+        return []
+    node = max(forest.roots, key=lambda n: n.dur)
+    path = [node.event]
+    while node.children:
+        node = max(node.children, key=lambda n: n.dur)
+        path.append(node.event)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
+def _aggregate(nodes: Iterable[SpanNode], key_fn) -> Dict[object, Dict[str, float]]:
+    rollup: Dict[object, Dict[str, float]] = {}
+    for node in nodes:
+        row = rollup.setdefault(
+            key_fn(node),
+            {"count": 0, "wall": 0.0, "cpu": 0.0, "self_wall": 0.0},
+        )
+        row["count"] += 1
+        row["wall"] += node.dur
+        row["cpu"] += node.event["cpu"]
+        row["self_wall"] += node.self_wall()
+    return rollup
+
+
+def aggregate_by_kind(forest: SpanForest) -> Dict[str, Dict[str, float]]:
+    """``{kind: {count, wall, cpu, self_wall}}`` over the whole trace."""
+    return _aggregate(forest.nodes.values(), lambda n: n.event["kind"])
+
+
+def aggregate_by_proc_kind(
+    forest: SpanForest,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-proc rollup: ``{proc: {kind: {count, wall, cpu, self_wall}}}``."""
+    flat = _aggregate(
+        forest.nodes.values(),
+        lambda n: (n.event["proc"], n.event["kind"]),
+    )
+    nested: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for (proc, kind), row in flat.items():
+        nested.setdefault(proc, {})[kind] = row
+    return nested
+
+
+def top_spans(
+    forest: SpanForest,
+    kinds: Sequence[str] = DEFAULT_TOP_KINDS,
+    n: int = 10,
+) -> Dict[str, List[dict]]:
+    """The *n* longest spans of each requested kind, attrs included.
+
+    Each entry is a compact JSON-ready dict (``proc``/``id``/``dur``/
+    ``cpu``/``attrs``) sorted by descending duration — the "which
+    divisor pairs dominate" view.
+    """
+    ranked: Dict[str, List[dict]] = {}
+    for kind in kinds:
+        matching = [
+            node.event
+            for node in forest.nodes.values()
+            if node.event["kind"] == kind
+        ]
+        matching.sort(key=lambda e: (-e["dur"], e["proc"], e["id"]))
+        ranked[kind] = [
+            {
+                "proc": e["proc"],
+                "id": e["id"],
+                "dur": e["dur"],
+                "cpu": e["cpu"],
+                "attrs": e["attrs"],
+            }
+            for e in matching[:n]
+        ]
+    return ranked
+
+
+# ----------------------------------------------------------------------
+# Worker utilization and speculative-store economics
+# ----------------------------------------------------------------------
+def worker_utilization(forest: SpanForest) -> Dict[str, Dict[str, object]]:
+    """Busy fraction and idle gaps for every ``worker-*`` proc.
+
+    A worker's *window* runs from its first root span's start to its
+    last root span's end (all on the worker's own clock, so the
+    numbers are exact).  *Busy* is the summed duration of its root
+    spans (``worker_batch`` in practice — they never overlap within
+    one process); everything between consecutive roots is an idle gap:
+    time the worker existed but had no shard to chew on.
+    """
+    report: Dict[str, Dict[str, object]] = {}
+    by_proc: Dict[str, List[SpanNode]] = {}
+    for root in forest.roots:
+        proc = root.event["proc"]
+        if proc.startswith("worker-"):
+            by_proc.setdefault(proc, []).append(root)
+    for proc, roots in sorted(by_proc.items()):
+        roots.sort(key=lambda n: n.event["start"])
+        window_start = roots[0].event["start"]
+        window_end = max(r.event["end"] for r in roots)
+        window = window_end - window_start
+        busy = sum(r.dur for r in roots)
+        gaps: List[float] = []
+        previous_end = roots[0].event["end"]
+        for root in roots[1:]:
+            gap = root.event["start"] - previous_end
+            if gap > 0:
+                gaps.append(gap)
+            previous_end = max(previous_end, root.event["end"])
+        pairs = sum(
+            int(r.event["attrs"].get("pairs", 0)) for r in roots
+        )
+        report[proc] = {
+            "batches": len(roots),
+            "pairs": pairs,
+            "window_seconds": window,
+            "busy_seconds": busy,
+            "busy_fraction": (busy / window) if window > 0 else 1.0,
+            "idle_gaps": len(gaps),
+            "idle_seconds": sum(gaps),
+            "max_idle_gap_seconds": max(gaps) if gaps else 0.0,
+        }
+    return report
+
+
+def ledger_rates(forest: SpanForest) -> Optional[Dict[str, object]]:
+    """Speculative-store economics, read off the engine's spans.
+
+    ``None`` for serial traces (no ``speculate`` span).  Otherwise:
+    how many pairs the engine speculated on, how many main-loop pairs
+    were *served* from the store (``pair`` spans annotated
+    ``speculative: true`` — reuse), and how many had to be re-evaluated
+    live after an invalidating commit (``speculative: false``).
+    """
+    speculated = 0
+    speculate_spans = 0
+    for node in forest.nodes.values():
+        if node.event["kind"] == "speculate":
+            speculate_spans += 1
+            speculated += int(node.event["attrs"].get("pairs", 0))
+    if speculate_spans == 0:
+        return None
+    served = 0
+    re_evaluated = 0
+    for node in forest.nodes.values():
+        event = node.event
+        if event["kind"] != "pair" or event["proc"] != "main":
+            continue
+        flag = event["attrs"].get("speculative")
+        if flag is True:
+            served += 1
+        elif flag is False:
+            re_evaluated = re_evaluated + 1
+    considered = served + re_evaluated
+    return {
+        "speculate_spans": speculate_spans,
+        "pairs_speculated": speculated,
+        "pairs_served": served,
+        "pairs_re_evaluated": re_evaluated,
+        "reuse_rate": (served / considered) if considered else 0.0,
+        "invalidation_rate": (
+            re_evaluated / considered if considered else 0.0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# The full bundle and its text rendering
+# ----------------------------------------------------------------------
+def analyze_trace(
+    events: Iterable[dict],
+    top_kinds: Sequence[str] = DEFAULT_TOP_KINDS,
+    top_n: int = 10,
+) -> Dict[str, object]:
+    """Everything ``repro trace report`` shows, as one JSON-ready dict."""
+    forest = build_forest(events)
+    return {
+        "spans": len(forest.nodes),
+        "procs": forest.procs(),
+        "critical_path": critical_path(forest),
+        "by_kind": aggregate_by_kind(forest),
+        "by_proc_kind": aggregate_by_proc_kind(forest),
+        "top_spans": top_spans(forest, kinds=top_kinds, n=top_n),
+        "worker_utilization": worker_utilization(forest),
+        "ledger": ledger_rates(forest),
+    }
+
+
+def _format_attrs(attrs: dict, limit: int = 4) -> str:
+    parts = [f"{k}={v!r}" for k, v in list(attrs.items())[:limit]]
+    if len(attrs) > limit:
+        parts.append("…")
+    return " ".join(parts)
+
+
+def format_report(analysis: Dict[str, object]) -> str:
+    """Human-readable rendering of an :func:`analyze_trace` bundle."""
+    lines: List[str] = []
+    lines.append(
+        f"trace: {analysis['spans']} spans across "
+        f"{len(analysis['procs'])} proc(s) "
+        f"({', '.join(analysis['procs'])})"
+    )
+
+    lines.append("")
+    lines.append("critical path (heaviest root-to-leaf chain):")
+    path = analysis["critical_path"]
+    if not path:
+        lines.append("  (empty trace)")
+    for depth, event in enumerate(path):
+        lines.append(
+            f"  {'  ' * depth}{event['kind']:<12}"
+            f"{event['dur'] * 1e3:>10.3f} ms  "
+            f"{_format_attrs(event['attrs'])}"
+        )
+
+    lines.append("")
+    lines.append("per-kind rollup:")
+    header = (
+        f"  {'kind':<14}{'count':>8}{'wall(s)':>10}"
+        f"{'self(s)':>10}{'cpu(s)':>10}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    by_kind = analysis["by_kind"]
+    for kind in sorted(by_kind, key=lambda k: -by_kind[k]["self_wall"]):
+        row = by_kind[kind]
+        lines.append(
+            f"  {kind:<14}{row['count']:>8}{row['wall']:>10.3f}"
+            f"{row['self_wall']:>10.3f}{row['cpu']:>10.3f}"
+        )
+
+    top = analysis["top_spans"]
+    for kind, entries in top.items():
+        if not entries:
+            continue
+        lines.append("")
+        lines.append(f"slowest {kind} spans:")
+        for entry in entries:
+            lines.append(
+                f"  {entry['dur'] * 1e3:>10.3f} ms  "
+                f"[{entry['proc']}:{entry['id']}]  "
+                f"{_format_attrs(entry['attrs'])}"
+            )
+
+    utilization = analysis["worker_utilization"]
+    lines.append("")
+    if utilization:
+        lines.append("worker utilization:")
+        for proc, row in utilization.items():
+            lines.append(
+                f"  {proc:<16}{row['batches']:>4} batches  "
+                f"{row['pairs']:>5} pairs  "
+                f"busy {row['busy_fraction'] * 100:>5.1f}%  "
+                f"idle {row['idle_seconds'] * 1e3:.1f} ms "
+                f"in {row['idle_gaps']} gap(s)"
+            )
+    else:
+        lines.append("worker utilization: (serial trace — no workers)")
+
+    ledger = analysis["ledger"]
+    if ledger is not None:
+        lines.append("")
+        lines.append(
+            f"speculative store: {ledger['pairs_speculated']} pairs "
+            f"speculated, {ledger['pairs_served']} served "
+            f"({ledger['reuse_rate'] * 100:.1f}% reuse), "
+            f"{ledger['pairs_re_evaluated']} re-evaluated live "
+            f"({ledger['invalidation_rate'] * 100:.1f}% invalidated)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Run history: append-only JSONL of metrics snapshots across PRs.
+
+Every benchmark run so far wrote a point-in-time ``BENCH_*.json`` that
+the next revision overwrites — there was no trajectory, so "did PR N
+make ``divide_calls`` or wall time worse than PR N-1" had no data to
+ask.  This module fixes that with one append-only ledger,
+``benchmarks/results/history.jsonl``: one JSON line per run, carrying
+the run's metrics snapshot (see :func:`~repro.obs.metrics.run_snapshot`)
+plus enough provenance to interpret it later —
+
+* a **machine fingerprint** (platform, Python, CPU count), because
+  wall seconds from different machines must never be compared as a
+  regression;
+* the **git SHA** of the working tree (best-effort; ``None`` outside a
+  repo or without ``git``);
+* a **config hash** over the resolved
+  :class:`~repro.core.substitution.DivisionConfig`, because a counter
+  delta between different configurations is a change, not a
+  regression;
+* the **circuit id** and the recording **bench**.
+
+Record schema (``v`` bumps on breaking change)::
+
+    {"v": 1, "bench": "simbench", "circuit": "rnd8",
+     "git_sha": "8b1fbab…", "config_hash": "f3a9…", "config_mode": "basic",
+     "machine": {"platform": …, "python": …, "cpu_count": 1},
+     "wall_seconds": 1.23, "metrics": {"counters": …, "gauges": …,
+     "timings": …}, "extra": {...}}
+
+:func:`latest_record` pulls the newest comparable baseline back out
+(filtered by circuit / bench / config hash / machine), which is what
+``repro compare`` and ``scripts/check_regression.py`` diff new runs
+against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import subprocess
+from typing import Dict, List, Optional, Union
+
+#: Bumped when a record's required fields change.
+HISTORY_SCHEMA_VERSION = 1
+
+#: The shared cross-PR ledger at the repository root.
+DEFAULT_HISTORY_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "results"
+    / "history.jsonl"
+)
+
+_REQUIRED_FIELDS = ("v", "bench", "circuit", "machine", "metrics")
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Where a record was measured (never compare walls across these)."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def current_git_sha(repo_root: Optional[pathlib.Path] = None) -> Optional[str]:
+    """HEAD commit of the repo (best-effort: ``None`` when unavailable)."""
+    root = pathlib.Path(repo_root or DEFAULT_HISTORY_PATH.parents[2])
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha or None
+
+
+def config_hash(config: Union[dict, object, None]) -> Optional[str]:
+    """Short stable hash of a resolved config (dataclass or dict)."""
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config):
+        config = dataclasses.asdict(config)
+    canonical = json.dumps(config, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def make_record(
+    *,
+    bench: str,
+    circuit: str,
+    metrics: Dict[str, object],
+    config: Union[dict, object, None] = None,
+    wall_seconds: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+    repo_root: Optional[pathlib.Path] = None,
+) -> Dict[str, object]:
+    """One JSON-ready history record (see the module docstring)."""
+    config_mode = None
+    if config is not None:
+        as_dict = (
+            dataclasses.asdict(config)
+            if dataclasses.is_dataclass(config)
+            else dict(config)
+        )
+        config_mode = as_dict.get("mode")
+    record: Dict[str, object] = {
+        "v": HISTORY_SCHEMA_VERSION,
+        "bench": bench,
+        "circuit": circuit,
+        "git_sha": current_git_sha(repo_root),
+        "config_hash": config_hash(config),
+        "config_mode": config_mode,
+        "machine": machine_fingerprint(),
+        "wall_seconds": wall_seconds,
+        "metrics": metrics,
+    }
+    if extra:
+        record["extra"] = extra
+    return record
+
+
+def validate_record(record: dict) -> None:
+    """Raise ``ValueError`` unless *record* matches the history schema."""
+    if not isinstance(record, dict):
+        raise ValueError(
+            f"record must be a dict, got {type(record).__name__}"
+        )
+    missing = [f for f in _REQUIRED_FIELDS if f not in record]
+    if missing:
+        raise ValueError(f"record missing fields {missing}")
+    if record["v"] != HISTORY_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported history schema version {record['v']!r}"
+        )
+    if not isinstance(record["metrics"], dict):
+        raise ValueError("metrics must be a snapshot dict")
+
+
+def append_record(
+    record: dict,
+    path: Union[str, pathlib.Path, None] = None,
+) -> pathlib.Path:
+    """Validate and append one record; returns the ledger path."""
+    validate_record(record)
+    ledger = pathlib.Path(path or DEFAULT_HISTORY_PATH)
+    ledger.parent.mkdir(parents=True, exist_ok=True)
+    with open(ledger, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True))
+        handle.write("\n")
+    return ledger
+
+
+def read_history(
+    path: Union[str, pathlib.Path, None] = None,
+) -> List[dict]:
+    """All records of a ledger, oldest first ([] for a missing file)."""
+    ledger = pathlib.Path(path or DEFAULT_HISTORY_PATH)
+    if not ledger.exists():
+        return []
+    records: List[dict] = []
+    with open(ledger) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{ledger}:{lineno}: not JSON: {exc}"
+                ) from exc
+            try:
+                validate_record(record)
+            except ValueError as exc:
+                raise ValueError(f"{ledger}:{lineno}: {exc}") from exc
+            records.append(record)
+    return records
+
+
+def latest_record(
+    records: List[dict],
+    *,
+    circuit: Optional[str] = None,
+    bench: Optional[str] = None,
+    config_hash: Optional[str] = None,
+    same_machine_as: Optional[dict] = None,
+) -> Optional[dict]:
+    """The newest record matching every given filter (or ``None``).
+
+    *same_machine_as* restricts to records whose machine fingerprint
+    equals the given record's — required before trusting wall-time
+    comparisons.
+    """
+    for record in reversed(records):
+        if circuit is not None and record["circuit"] != circuit:
+            continue
+        if bench is not None and record["bench"] != bench:
+            continue
+        if (
+            config_hash is not None
+            and record.get("config_hash") != config_hash
+        ):
+            continue
+        if (
+            same_machine_as is not None
+            and record["machine"] != same_machine_as["machine"]
+        ):
+            continue
+        return record
+    return None

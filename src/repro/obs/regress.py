@@ -1,0 +1,334 @@
+"""Regression gating: diff two metrics snapshots, fail on drift.
+
+The comparator behind ``repro compare`` and
+``scripts/check_regression.py``.  It reads two metrics snapshots (the
+``{"counters", "gauges", "timings"}`` shape of
+:func:`~repro.obs.metrics.run_snapshot`, however they are wrapped — a
+raw snapshot, a ``--stats-json`` report, or a history record from
+:mod:`repro.obs.history`) and applies two different standards:
+
+* **Deterministic metrics** (``divide_calls``, ``accepted``, literal
+  counts, …) must be **exactly equal**.  The whole pipeline is
+  deterministic by construction — the parallel engine commits through
+  the serial greedy order, the sim filter is sound — so *any* drift in
+  these is a behavioral change that someone must explain, not noise
+  to threshold away.
+* **Wall-clock metrics** (``wall_seconds``, timing totals) get a slack
+  threshold in percent, and only when the caller asks
+  (``--fail-on-regression PCT``): timing comparisons are only
+  meaningful between runs on the same machine, which the caller
+  asserts by passing the flag.
+
+A metric present in the base but missing from the new snapshot is a
+failure too (a silently dropped counter is how regressions hide).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Counters whose values are run-to-run deterministic for a fixed
+#: (circuit, config, code) triple — exact equality required.
+DETERMINISTIC_COUNTERS = (
+    "substitution.attempts",
+    "substitution.accepted",
+    "substitution.wires_removed",
+    "substitution.cubes_removed",
+    "substitution.cores_extracted",
+    "substitution.divide_calls",
+    "substitution.divisors_pruned",
+    "substitution.variants_pruned",
+    "substitution.atpg_incomplete",
+)
+
+#: Gauges under the same exact-equality contract (the paper's quality
+#: numbers).
+DETERMINISTIC_GAUGES = (
+    "substitution.literals_before",
+    "substitution.literals_after",
+)
+
+#: For reporting direction: metrics where a *larger* new value is the
+#: bad direction.  (Everything deterministic fails on any drift; this
+#: only labels the report.)
+_HIGHER_IS_WORSE = {
+    "substitution.divide_calls",
+    "substitution.attempts",
+    "substitution.literals_after",
+    "substitution.atpg_incomplete",
+}
+
+
+@dataclasses.dataclass
+class Delta:
+    """One metric's base→new movement and its verdict."""
+
+    metric: str
+    base: object
+    new: object
+    kind: str  # "counter" | "gauge" | "timing" | "wall"
+    regression: bool
+    note: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class ComparisonReport:
+    """Everything ``repro compare`` prints and gates on."""
+
+    deterministic_mismatches: List[Delta] = dataclasses.field(
+        default_factory=list
+    )
+    time_regressions: List[Delta] = dataclasses.field(default_factory=list)
+    time_improvements: List[Delta] = dataclasses.field(
+        default_factory=list
+    )
+    missing_metrics: List[str] = dataclasses.field(default_factory=list)
+    compared: int = 0
+    time_slack_pct: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.deterministic_mismatches
+            and not self.time_regressions
+            and not self.missing_metrics
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "compared": self.compared,
+            "time_slack_pct": self.time_slack_pct,
+            "deterministic_mismatches": [
+                d.as_dict() for d in self.deterministic_mismatches
+            ],
+            "time_regressions": [
+                d.as_dict() for d in self.time_regressions
+            ],
+            "time_improvements": [
+                d.as_dict() for d in self.time_improvements
+            ],
+            "missing_metrics": list(self.missing_metrics),
+        }
+
+
+# ----------------------------------------------------------------------
+# Snapshot extraction and loading
+# ----------------------------------------------------------------------
+def extract_snapshot(obj: dict) -> Dict[str, object]:
+    """Find the ``{counters, gauges, timings}`` snapshot inside *obj*.
+
+    Accepts a raw snapshot, anything that wraps one under a
+    ``"metrics"`` key (``--stats-json`` reports, history records,
+    :func:`~repro.scripts.flows.run_method` results), and raises
+    ``ValueError`` otherwise.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(
+            f"expected a dict, got {type(obj).__name__}"
+        )
+    if "counters" in obj and "gauges" in obj and "timings" in obj:
+        return obj
+    metrics = obj.get("metrics")
+    if isinstance(metrics, dict) and "counters" in metrics:
+        return metrics
+    raise ValueError(
+        "no metrics snapshot found (expected counters/gauges/timings, "
+        "or a 'metrics' key wrapping them)"
+    )
+
+
+def load_comparable(
+    path: Union[str, pathlib.Path],
+    *,
+    circuit: Optional[str] = None,
+) -> Tuple[Dict[str, object], Optional[float], str]:
+    """Load a snapshot from a JSON report or a history ledger.
+
+    A ``*.jsonl`` path is treated as a run-history ledger (see
+    :mod:`repro.obs.history`) and resolves to its **latest** record,
+    optionally filtered by *circuit*.  Anything else must be a JSON
+    file carrying a snapshot (``--stats-json`` output, a raw
+    snapshot, or a single history record).
+
+    Returns ``(snapshot, wall_seconds_or_None, label)``.
+    """
+    path = pathlib.Path(path)
+    if path.suffix == ".jsonl":
+        from repro.obs.history import latest_record, read_history
+
+        records = read_history(path)
+        record = latest_record(records, circuit=circuit)
+        if record is None:
+            wanted = f" for circuit {circuit!r}" if circuit else ""
+            raise ValueError(f"{path}: no history record{wanted}")
+        label = (
+            f"{path.name}@{(record.get('git_sha') or 'unknown')[:12]}"
+            f" ({record['bench']}/{record['circuit']})"
+        )
+        return (
+            extract_snapshot(record),
+            record.get("wall_seconds"),
+            label,
+        )
+    with open(path) as handle:
+        data = json.load(handle)
+    wall = data.get("wall_seconds")
+    if wall is None and isinstance(data.get("cpu_seconds"), (int, float)):
+        # --stats-json reports call their wall clock "cpu_seconds".
+        wall = data["cpu_seconds"]
+    return extract_snapshot(data), wall, path.name
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def _direction_note(metric: str, base, new) -> str:
+    if base == new:
+        return "equal"
+    worse = (new > base) == (metric in _HIGHER_IS_WORSE)
+    return "worse" if worse else "better (still a drift)"
+
+
+def compare_snapshots(
+    base: Dict[str, object],
+    new: Dict[str, object],
+    *,
+    time_slack_pct: Optional[float] = None,
+    base_wall: Optional[float] = None,
+    new_wall: Optional[float] = None,
+) -> ComparisonReport:
+    """Diff two snapshots; see the module docstring for the standards."""
+    base = extract_snapshot(base)
+    new = extract_snapshot(new)
+    report = ComparisonReport(time_slack_pct=time_slack_pct)
+
+    for metric in DETERMINISTIC_COUNTERS:
+        in_base = metric in base["counters"]
+        in_new = metric in new["counters"]
+        if not in_base:
+            continue  # older snapshot predates the counter
+        if not in_new:
+            report.missing_metrics.append(metric)
+            continue
+        report.compared += 1
+        base_value = base["counters"][metric]
+        new_value = new["counters"][metric]
+        if base_value != new_value:
+            report.deterministic_mismatches.append(
+                Delta(
+                    metric=metric,
+                    base=base_value,
+                    new=new_value,
+                    kind="counter",
+                    regression=True,
+                    note=_direction_note(metric, base_value, new_value),
+                )
+            )
+    for metric in DETERMINISTIC_GAUGES:
+        if metric not in base["gauges"]:
+            continue
+        if metric not in new["gauges"]:
+            report.missing_metrics.append(metric)
+            continue
+        report.compared += 1
+        base_value = base["gauges"][metric]
+        new_value = new["gauges"][metric]
+        if base_value != new_value:
+            report.deterministic_mismatches.append(
+                Delta(
+                    metric=metric,
+                    base=base_value,
+                    new=new_value,
+                    kind="gauge",
+                    regression=True,
+                    note=_direction_note(metric, base_value, new_value),
+                )
+            )
+
+    if time_slack_pct is not None:
+        allowed = 1.0 + time_slack_pct / 100.0
+        walls: List[Tuple[str, str, Optional[float], Optional[float]]] = [
+            ("wall_seconds", "wall", base_wall, new_wall)
+        ]
+        for name, summary in sorted(base["timings"].items()):
+            new_summary = new["timings"].get(name)
+            if new_summary is None:
+                continue
+            walls.append(
+                (
+                    f"{name}.total",
+                    "timing",
+                    summary.get("total"),
+                    new_summary.get("total"),
+                )
+            )
+        for metric, kind, base_value, new_value in walls:
+            if base_value is None or new_value is None:
+                continue
+            report.compared += 1
+            delta = Delta(
+                metric=metric,
+                base=base_value,
+                new=new_value,
+                kind=kind,
+                regression=new_value > base_value * allowed,
+                note=(
+                    f"{(new_value / base_value - 1.0) * 100.0:+.1f}%"
+                    if base_value > 0
+                    else "base was zero"
+                ),
+            )
+            if delta.regression:
+                report.time_regressions.append(delta)
+            elif new_value < base_value:
+                report.time_improvements.append(delta)
+    return report
+
+
+def format_comparison(
+    report: ComparisonReport,
+    base_label: str = "base",
+    new_label: str = "new",
+) -> str:
+    """Human-readable rendering of a :class:`ComparisonReport`."""
+    lines: List[str] = [
+        f"compare: {base_label} -> {new_label} "
+        f"({report.compared} metric(s) checked)"
+    ]
+    if report.deterministic_mismatches:
+        lines.append("deterministic mismatches (exact equality required):")
+        for delta in report.deterministic_mismatches:
+            lines.append(
+                f"  {delta.metric}: {delta.base} -> {delta.new} "
+                f"[{delta.note}]"
+            )
+    if report.missing_metrics:
+        lines.append(
+            "metrics present in base but missing from new: "
+            + ", ".join(report.missing_metrics)
+        )
+    if report.time_slack_pct is not None:
+        if report.time_regressions:
+            lines.append(
+                f"wall-time regressions (> {report.time_slack_pct:.0f}% "
+                "slack):"
+            )
+            for delta in report.time_regressions:
+                lines.append(
+                    f"  {delta.metric}: {delta.base:.4f}s -> "
+                    f"{delta.new:.4f}s [{delta.note}]"
+                )
+        for delta in report.time_improvements:
+            lines.append(
+                f"  improved: {delta.metric}: {delta.base:.4f}s -> "
+                f"{delta.new:.4f}s [{delta.note}]"
+            )
+    lines.append("PASS" if report.ok else "FAIL")
+    return "\n".join(lines)

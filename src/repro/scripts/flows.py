@@ -115,13 +115,13 @@ def run_method(
     SIS resub has no span instrumentation.
     """
     tracer = as_tracer(tracer)
+    config = METHOD_CONFIGS.get(method)
     if config_overrides or budget is not None or tracer.enabled:
-        base = METHOD_CONFIGS.get(method)
-        if base is None:
+        if config is None:
             raise ValueError(
                 f"method {method!r} takes no DivisionConfig overrides"
             )
-        config = dataclasses.replace(base, **(config_overrides or {}))
+        config = dataclasses.replace(config, **(config_overrides or {}))
 
         def runner(net: Network, config=config):
             return substitute_network(
@@ -140,9 +140,13 @@ def run_method(
     if isinstance(outcome, SubstitutionStats):
         # Full run statistics (worker counters included) for callers
         # that report more than the table columns, e.g. the CLI's
-        # ``--stats-json``, plus the unified metrics snapshot.
+        # ``--stats-json``, plus the unified metrics snapshot and the
+        # resolved configuration (what run-history records hash, so
+        # two runs are only ever compared under the same knobs).
         result["stats"] = dataclasses.asdict(outcome)
         result["metrics"] = run_snapshot(outcome)
+        if config is not None:
+            result["config"] = dataclasses.asdict(config)
     return result
 
 

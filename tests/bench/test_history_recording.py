@@ -1,0 +1,61 @@
+"""Bench runners append provenance-stamped records to the run history."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.bench.parallelbench import run_parallel_benchmark
+from repro.bench.simbench import run_sim_filter_benchmark
+from repro.core.config import BASIC
+from repro.obs.history import read_history
+
+
+def test_simbench_records_filtered_run(tmp_path):
+    report_path = tmp_path / "bench.json"
+    ledger = tmp_path / "history.jsonl"
+    report = run_sim_filter_benchmark(
+        ["rnd1"], output_path=report_path, history_path=ledger
+    )
+    (record,) = read_history(ledger)
+    assert record["bench"] == "simbench"
+    assert record["circuit"] == "rnd1"
+    assert record["config_hash"]
+    assert record["extra"]["literal_parity"] is True
+    counters = record["metrics"]["counters"]
+    assert counters["substitution.divide_calls"] > 0
+    # Snapshots live in the ledger, not the point-in-time report.
+    on_disk = json.loads(report_path.read_text())
+    for row in on_disk["circuits"]:
+        assert "snapshot" not in row["filtered"]
+        assert "snapshot" not in row["unfiltered"]
+    assert report["all_literal_parity"]
+
+
+def test_parallelbench_records_serial_baseline(tmp_path):
+    report_path = tmp_path / "bench.json"
+    ledger = tmp_path / "history.jsonl"
+    config = dataclasses.replace(BASIC, parallel_backend="serial")
+    run_parallel_benchmark(
+        ["rnd1"],
+        config=config,
+        job_counts=(2,),
+        output_path=report_path,
+        history_path=ledger,
+    )
+    (record,) = read_history(ledger)
+    assert record["bench"] == "parallelbench"
+    assert record["extra"]["output_identical"] is True
+    assert "jobs2" in record["extra"]["speedups"]
+    on_disk = json.loads(report_path.read_text())
+    row = on_disk["circuits"][0]
+    assert "snapshot" not in row["serial"]
+    assert "snapshot" not in row["parallel"]["jobs2"]
+
+
+def test_history_path_none_disables_recording(tmp_path):
+    report_path = tmp_path / "bench.json"
+    run_sim_filter_benchmark(
+        ["rnd1"], output_path=report_path, history_path=None
+    )
+    assert not (tmp_path / "history.jsonl").exists()

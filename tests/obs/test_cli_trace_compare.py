@@ -1,0 +1,246 @@
+"""CLI verbs over traces and snapshots: ``repro trace`` / ``compare``.
+
+Drives the acceptance criteria end to end:
+
+* ``repro trace report`` on a trace produced with ``--trace`` from the
+  golden parallel run prints critical path + per-kind rollup + worker
+  utilization;
+* ``repro trace chrome`` preserves the span count (lossless export);
+* ``repro compare`` exits 0 on a self-compare and non-zero when a
+  deterministic counter regresses (also via
+  ``scripts/check_regression.py``);
+* ``--profile-json`` archives the profile rollup; ``--history``
+  appends a provenance-stamped record.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.obs.history import read_history
+from repro.obs.tracer import read_jsonl
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+GOLDEN_INPUT = REPO / "tests" / "parallel" / "golden" / "input.blif"
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One golden-input parallel run with every archive flag on."""
+    tmp = tmp_path_factory.mktemp("traced_run")
+    paths = {
+        "out": tmp / "out.blif",
+        "trace": tmp / "run.jsonl",
+        "stats": tmp / "stats.json",
+        "profile": tmp / "profile.json",
+        "history": tmp / "history.jsonl",
+    }
+    code = main(
+        [
+            "optimize",
+            str(GOLDEN_INPUT),
+            "--method",
+            "ext",
+            "-j",
+            "2",
+            "-o",
+            str(paths["out"]),
+            "--trace",
+            str(paths["trace"]),
+            "--stats-json",
+            str(paths["stats"]),
+            "--profile-json",
+            str(paths["profile"]),
+            "--history",
+            str(paths["history"]),
+        ]
+    )
+    assert code == 0
+    return paths
+
+
+@pytest.mark.trace
+class TestTraceVerbs:
+    def test_report_prints_all_sections(self, traced_run, capsys):
+        code = main(["trace", "report", str(traced_run["trace"])])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "per-kind rollup" in out
+        assert "worker utilization" in out
+        # The parallel run's heaviest chain starts at the run span.
+        assert "run" in out.splitlines()[3]
+
+    def test_chrome_export_preserves_span_count(
+        self, traced_run, tmp_path
+    ):
+        events = read_jsonl(traced_run["trace"])
+        out = tmp_path / "run.chrome.json"
+        code = main(
+            ["trace", "chrome", str(traced_run["trace"]), "-o", str(out)]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        complete = [
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        assert len(complete) == len(events)
+
+    def test_flame_export(self, traced_run, capsys):
+        code = main(["trace", "flame", str(traced_run["trace"])])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert any(line.startswith("main;run;pass") for line in lines)
+        for line in lines:
+            int(line.rpartition(" ")[2])  # every weight is an integer
+
+    def test_missing_trace_file_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["trace", "report", str(tmp_path / "missing.jsonl")]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_corrupt_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 1}\n')
+        code = main(["trace", "report", str(bad)])
+        assert code == 2
+        assert "missing fields" in capsys.readouterr().err
+
+
+class TestProfileJson:
+    def test_rollup_archived(self, traced_run):
+        rollup = json.loads(traced_run["profile"].read_text())
+        assert "run" in rollup and "pair" in rollup
+        for row in rollup.values():
+            assert set(row) == {"count", "wall", "cpu", "self_wall"}
+
+
+class TestHistoryFlag:
+    def test_record_appended_with_provenance(self, traced_run):
+        (record,) = read_history(traced_run["history"])
+        assert record["bench"] == "cli-optimize"
+        assert record["config_hash"]
+        assert record["config_mode"] == "extended"
+        assert record["extra"]["method"] == "ext"
+        assert (
+            record["metrics"]["counters"]["substitution.divide_calls"]
+            > 0
+        )
+
+
+@pytest.mark.regression_gate
+class TestCompareVerb:
+    def test_self_compare_exits_zero(self, traced_run, capsys):
+        code = main(
+            [
+                "compare",
+                str(traced_run["stats"]),
+                str(traced_run["stats"]),
+                "--fail-on-regression",
+                "20",
+            ]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_history_vs_stats_self_compare(self, traced_run, capsys):
+        code = main(
+            [
+                "compare",
+                str(traced_run["history"]),
+                str(traced_run["stats"]),
+            ]
+        )
+        assert code == 0
+
+    def test_deterministic_regression_exits_nonzero(
+        self, traced_run, tmp_path, capsys
+    ):
+        regressed = json.loads(traced_run["stats"].read_text())
+        regressed["metrics"]["counters"][
+            "substitution.divide_calls"
+        ] += 1
+        path = tmp_path / "regressed.json"
+        path.write_text(json.dumps(regressed))
+        code = main(
+            ["compare", str(traced_run["stats"]), str(path)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "deterministic mismatches" in out
+        assert "substitution.divide_calls" in out
+
+    def test_report_json_written(self, traced_run, tmp_path):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "compare",
+                str(traced_run["stats"]),
+                str(traced_run["stats"]),
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_bad_input_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "compare",
+                str(tmp_path / "a.json"),
+                str(tmp_path / "b.json"),
+            ]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+
+@pytest.mark.regression_gate
+class TestCheckRegressionScript:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "check_regression.py"),
+             *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+
+    def test_clean_gate_exits_zero(self, traced_run):
+        result = self._run(
+            "--base", str(traced_run["stats"]),
+            "--new", str(traced_run["stats"]),
+            "--fail-on-regression", "25",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "PASS" in result.stdout
+
+    def test_regression_gates_exit_one(self, traced_run, tmp_path):
+        regressed = json.loads(traced_run["stats"].read_text())
+        regressed["metrics"]["counters"]["substitution.accepted"] -= 1
+        path = tmp_path / "regressed.json"
+        path.write_text(json.dumps(regressed))
+        result = self._run(
+            "--base", str(traced_run["stats"]), "--new", str(path)
+        )
+        assert result.returncode == 1
+        assert "FAIL" in result.stdout
+
+    def test_missing_baseline_allowed(self, traced_run, tmp_path):
+        result = self._run(
+            "--base", str(tmp_path / "empty.jsonl"),
+            "--new", str(traced_run["stats"]),
+            "--allow-missing-base",
+        )
+        assert result.returncode == 0
+        assert "vacuously" in result.stdout

@@ -1,0 +1,147 @@
+"""Run-history ledger: record schema, append/read, baseline lookup."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.config import BASIC, EXTENDED
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    append_record,
+    config_hash,
+    current_git_sha,
+    latest_record,
+    machine_fingerprint,
+    make_record,
+    read_history,
+    validate_record,
+)
+
+SNAPSHOT = {"counters": {"substitution.divide_calls": 7}, "gauges": {},
+            "timings": {}}
+
+
+def _record(circuit="rnd1", bench="test", config=BASIC, **kwargs):
+    return make_record(
+        bench=bench,
+        circuit=circuit,
+        metrics=SNAPSHOT,
+        config=config,
+        **kwargs,
+    )
+
+
+class TestRecord:
+    def test_record_carries_provenance(self):
+        record = _record(wall_seconds=1.5, extra={"note": "x"})
+        assert record["v"] == HISTORY_SCHEMA_VERSION
+        assert record["bench"] == "test"
+        assert record["circuit"] == "rnd1"
+        assert record["config_mode"] == "basic"
+        assert record["machine"]["cpu_count"] is not None
+        assert record["wall_seconds"] == 1.5
+        assert record["extra"] == {"note": "x"}
+        assert record["metrics"] is SNAPSHOT
+        # In this git repo the SHA resolves to a 40-hex commit.
+        assert record["git_sha"] is None or len(record["git_sha"]) == 40
+
+    def test_record_is_json_ready(self):
+        json.dumps(_record())
+
+    def test_validate_rejects_missing_fields(self):
+        record = _record()
+        del record["metrics"]
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_record(record)
+
+    def test_validate_rejects_wrong_version(self):
+        record = _record()
+        record["v"] = 99
+        with pytest.raises(ValueError, match="version"):
+            validate_record(record)
+
+
+class TestConfigHash:
+    def test_stable_across_equal_configs(self):
+        assert config_hash(BASIC) == config_hash(BASIC)
+        assert config_hash(BASIC) == config_hash(dataclasses.asdict(BASIC))
+
+    def test_differs_across_configs(self):
+        assert config_hash(BASIC) != config_hash(EXTENDED)
+
+    def test_none_config(self):
+        assert config_hash(None) is None
+        assert _record(config=None)["config_hash"] is None
+        assert _record(config=None)["config_mode"] is None
+
+
+class TestLedger:
+    def test_append_then_read_round_trip(self, tmp_path):
+        ledger = tmp_path / "history.jsonl"
+        first = _record(circuit="a")
+        second = _record(circuit="b")
+        append_record(first, path=ledger)
+        append_record(second, path=ledger)
+        records = read_history(ledger)
+        assert [r["circuit"] for r in records] == ["a", "b"]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_history(tmp_path / "nope.jsonl") == []
+
+    def test_read_rejects_corrupt_line_with_location(self, tmp_path):
+        ledger = tmp_path / "history.jsonl"
+        append_record(_record(), path=ledger)
+        with open(ledger, "a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ValueError, match=r"history\.jsonl:2"):
+            read_history(ledger)
+
+    def test_append_validates(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_record({"v": 1}, path=tmp_path / "h.jsonl")
+
+
+class TestLatestRecord:
+    def test_filters_and_recency(self, tmp_path):
+        records = [
+            _record(circuit="rnd1", bench="simbench"),
+            _record(circuit="rnd2", bench="simbench", config=EXTENDED),
+            _record(circuit="rnd1", bench="parallelbench"),
+        ]
+        assert (
+            latest_record(records, circuit="rnd1")["bench"]
+            == "parallelbench"
+        )
+        assert (
+            latest_record(records, bench="simbench")["circuit"] == "rnd2"
+        )
+        assert (
+            latest_record(
+                records, circuit="rnd1", bench="simbench"
+            )["bench"]
+            == "simbench"
+        )
+        assert latest_record(records, circuit="rnd9") is None
+
+    def test_config_hash_filter(self):
+        records = [_record(config=BASIC), _record(config=EXTENDED)]
+        found = latest_record(records, config_hash=config_hash(BASIC))
+        assert found is records[0]
+
+    def test_same_machine_filter(self):
+        records = [_record()]
+        other = _record()
+        other["machine"] = dict(machine_fingerprint(), cpu_count=999)
+        assert latest_record(records, same_machine_as=other) is None
+        assert (
+            latest_record(records, same_machine_as=records[0])
+            is records[0]
+        )
+
+
+def test_git_sha_best_effort(tmp_path):
+    # Inside this repo: a real SHA; in an empty dir: None, no raise.
+    assert current_git_sha(tmp_path) is None

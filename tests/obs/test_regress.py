@@ -1,0 +1,202 @@
+"""Regression comparator: exact counters, slacked walls, gating."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.history import append_record, make_record
+from repro.obs.regress import (
+    DETERMINISTIC_COUNTERS,
+    DETERMINISTIC_GAUGES,
+    compare_snapshots,
+    extract_snapshot,
+    format_comparison,
+    load_comparable,
+)
+
+pytestmark = pytest.mark.regression_gate
+
+
+def snapshot(divide_calls=100, accepted=5, literals_after=40,
+             cpu_total=1.0):
+    return {
+        "counters": {
+            "substitution.divide_calls": divide_calls,
+            "substitution.accepted": accepted,
+            "substitution.attempts": 120,
+        },
+        "gauges": {
+            "substitution.literals_before": 60,
+            "substitution.literals_after": literals_after,
+        },
+        "timings": {
+            "substitution.cpu_seconds": {
+                "count": 1,
+                "total": cpu_total,
+                "min": cpu_total,
+                "max": cpu_total,
+                "mean": cpu_total,
+            }
+        },
+    }
+
+
+class TestDeterministic:
+    def test_self_compare_passes(self):
+        base = snapshot()
+        report = compare_snapshots(base, copy.deepcopy(base))
+        assert report.ok
+        assert report.compared > 0
+        assert "PASS" in format_comparison(report)
+
+    def test_counter_drift_fails_either_direction(self):
+        for delta in (+3, -3):
+            report = compare_snapshots(
+                snapshot(), snapshot(divide_calls=100 + delta)
+            )
+            assert not report.ok
+            (mismatch,) = report.deterministic_mismatches
+            assert mismatch.metric == "substitution.divide_calls"
+            assert "FAIL" in format_comparison(report)
+
+    def test_literal_gauge_drift_fails(self):
+        report = compare_snapshots(
+            snapshot(), snapshot(literals_after=41)
+        )
+        assert not report.ok
+        (mismatch,) = report.deterministic_mismatches
+        assert mismatch.metric == "substitution.literals_after"
+        assert mismatch.note == "worse"
+
+    def test_missing_metric_fails(self):
+        new = snapshot()
+        del new["counters"]["substitution.divide_calls"]
+        report = compare_snapshots(snapshot(), new)
+        assert not report.ok
+        assert "substitution.divide_calls" in report.missing_metrics
+
+    def test_metric_absent_from_base_is_skipped(self):
+        # An older snapshot predating a counter must not fail the new
+        # one for having it.
+        base = snapshot()
+        del base["counters"]["substitution.attempts"]
+        assert compare_snapshots(base, snapshot()).ok
+
+    def test_every_deterministic_metric_is_substitution_scoped(self):
+        for name in DETERMINISTIC_COUNTERS + DETERMINISTIC_GAUGES:
+            assert name.startswith("substitution.")
+
+
+class TestWallTimes:
+    def test_ignored_without_slack(self):
+        report = compare_snapshots(
+            snapshot(cpu_total=1.0), snapshot(cpu_total=99.0)
+        )
+        assert report.ok
+
+    def test_within_slack_passes(self):
+        report = compare_snapshots(
+            snapshot(cpu_total=1.0),
+            snapshot(cpu_total=1.1),
+            time_slack_pct=20.0,
+        )
+        assert report.ok
+
+    def test_beyond_slack_fails(self):
+        report = compare_snapshots(
+            snapshot(cpu_total=1.0),
+            snapshot(cpu_total=1.5),
+            time_slack_pct=20.0,
+        )
+        assert not report.ok
+        (regression,) = report.time_regressions
+        assert regression.metric == "substitution.cpu_seconds.total"
+        assert "+50.0%" in regression.note
+
+    def test_wall_seconds_gated(self):
+        report = compare_snapshots(
+            snapshot(),
+            snapshot(),
+            time_slack_pct=10.0,
+            base_wall=1.0,
+            new_wall=2.0,
+        )
+        assert not report.ok
+        assert report.time_regressions[0].metric == "wall_seconds"
+
+    def test_improvement_reported_not_failed(self):
+        report = compare_snapshots(
+            snapshot(cpu_total=2.0),
+            snapshot(cpu_total=1.0),
+            time_slack_pct=10.0,
+        )
+        assert report.ok
+        assert report.time_improvements
+
+    def test_report_is_json_ready(self):
+        report = compare_snapshots(
+            snapshot(), snapshot(divide_calls=1), time_slack_pct=5.0
+        )
+        json.dumps(report.as_dict())
+        assert report.as_dict()["ok"] is False
+
+
+class TestExtraction:
+    def test_raw_snapshot(self):
+        assert extract_snapshot(snapshot()) == snapshot()
+
+    def test_metrics_wrapper(self):
+        assert (
+            extract_snapshot({"metrics": snapshot()}) == snapshot()
+        )
+
+    def test_rejects_shapeless_dict(self):
+        with pytest.raises(ValueError, match="no metrics snapshot"):
+            extract_snapshot({"foo": 1})
+
+
+class TestLoadComparable:
+    def test_stats_json_report(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(
+            json.dumps(
+                {"metrics": snapshot(), "cpu_seconds": 2.5}
+            )
+        )
+        loaded, wall, label = load_comparable(path)
+        assert loaded == snapshot()
+        assert wall == 2.5
+        assert label == "run.json"
+
+    def test_history_ledger_latest_with_circuit_filter(self, tmp_path):
+        ledger = tmp_path / "history.jsonl"
+        for circuit, calls in (("a", 1), ("b", 2), ("a", 3)):
+            append_record(
+                make_record(
+                    bench="test",
+                    circuit=circuit,
+                    metrics=snapshot(divide_calls=calls),
+                    wall_seconds=0.5,
+                ),
+                path=ledger,
+            )
+        loaded, wall, label = load_comparable(ledger, circuit="a")
+        assert (
+            loaded["counters"]["substitution.divide_calls"] == 3
+        )  # latest "a"
+        assert wall == 0.5
+        assert "test/a" in label
+
+    def test_history_ledger_without_match(self, tmp_path):
+        ledger = tmp_path / "history.jsonl"
+        append_record(
+            make_record(
+                bench="test", circuit="a", metrics=snapshot()
+            ),
+            path=ledger,
+        )
+        with pytest.raises(ValueError, match="no history record"):
+            load_comparable(ledger, circuit="zzz")
