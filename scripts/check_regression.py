@@ -14,7 +14,12 @@ same comparator as ``repro compare`` — intended for CI::
 Exit codes: ``0`` clean, ``1`` regression (deterministic counter
 drift, dropped metric, or wall time beyond the slack), ``2`` bad
 input.  Deterministic counters (``divide_calls``, ``accepted``,
-literal counts, …) always gate; wall times only gate when
+literal counts, and the speculation protocol's ``parallel.*``
+counters — ``pairs_reused``, ``pairs_invalidated``,
+``deltas_shipped``, ``delta_nodes``, … — which gate *exactly*: a
+drifted reuse or invalidation count means the deterministic commit
+protocol changed behaviour, not that the machine was slow) always
+gate; wall times only gate when
 ``--fail-on-regression PCT`` is given, because wall comparisons are
 only meaningful between runs on the same machine — CI asserts that by
 passing the flag.

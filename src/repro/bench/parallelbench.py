@@ -57,6 +57,20 @@ def run_circuit(
     start = time.perf_counter()
     stats = substitute_network(network, config, n_jobs=n_jobs)
     elapsed = time.perf_counter() - start
+    phases = dict(stats.parallel_phase_seconds)
+    if phases:
+        # Everything the main process did outside shipping snapshots
+        # and waiting on shards: the greedy commit loop (including
+        # live re-evaluations) — the phase the pipeline overlaps the
+        # workers with.
+        phases["commit_loop"] = max(
+            0.0,
+            elapsed
+            - phases.get("snapshot_ship", 0.0)
+            - phases.get("dispatch_wait", 0.0),
+        )
+    batches = stats.parallel_batches
+    wire_bytes = stats.parallel_snapshot_bytes + stats.parallel_batch_bytes
     return {
         "snapshot": run_snapshot(stats),
         "literals_before": stats.literals_before,
@@ -66,8 +80,26 @@ def run_circuit(
         "pairs_evaluated": stats.parallel_pairs_evaluated,
         "pairs_reused": stats.parallel_pairs_reused,
         "pairs_invalidated": stats.parallel_pairs_invalidated,
-        "batches": stats.parallel_batches,
+        "pairs_stale_skipped": stats.parallel_pairs_stale_skipped,
+        "batches": batches,
         "jobs": stats.parallel_jobs,
+        "deltas_shipped": stats.parallel_deltas_shipped,
+        "delta_nodes": stats.parallel_delta_nodes,
+        #: Wire accounting of the persistent-pool protocol: the base
+        #: snapshot ships once, then each shard pays only its pair
+        #: list + cumulative delta record.  ``snapshot_bytes_per_batch``
+        #: is the amortized snapshot-ship cost — the batch-scoped
+        #: protocol paid the full ``snapshot_bytes`` for *every* batch.
+        "snapshot_bytes": stats.parallel_snapshot_bytes,
+        "batch_bytes": stats.parallel_batch_bytes,
+        "bytes_per_batch": (wire_bytes / batches) if batches else 0.0,
+        "snapshot_bytes_per_batch": (
+            stats.parallel_snapshot_bytes / batches if batches else 0.0
+        ),
+        #: Per-phase wall seconds: snapshot_ship / worker_build /
+        #: evaluate / dispatch_wait from the engine, commit_loop
+        #: derived as the remainder of the run.
+        "phase_seconds": phases,
     }
 
 

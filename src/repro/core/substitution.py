@@ -74,6 +74,24 @@ class SubstitutionStats:
     #: Speculative outcomes discarded because a committed rewrite
     #: touched their dividend/divisor (re-evaluated live).
     parallel_pairs_invalidated: int = 0
+    #: Delta records shipped to the persistent worker pool across
+    #: passes, and the node rewrites/deletions they carried.
+    parallel_deltas_shipped: int = 0
+    parallel_delta_nodes: int = 0
+    #: Pairs dropped at shard-submit time because a commit had already
+    #: rewritten one of their endpoints (never sent to a worker).
+    parallel_pairs_stale_skipped: int = 0
+    #: Wire accounting for the parallel protocol: bytes of the
+    #: one-time base snapshot payload(s) and of the summed per-shard
+    #: payloads (pair lists + delta log).
+    parallel_snapshot_bytes: int = 0
+    parallel_batch_bytes: int = 0
+    #: Per-phase wall seconds of the parallel protocol
+    #: (``snapshot_ship``, ``worker_build``, ``evaluate``,
+    #: ``dispatch_wait``), accumulated across runs.
+    parallel_phase_seconds: Dict[str, float] = dataclasses.field(
+        default_factory=dict
+    )
     #: D-alg searches that ran out of backtracks/deadline; their
     #: verdicts were treated conservatively as "not redundant".
     atpg_incomplete: int = 0
@@ -483,11 +501,16 @@ def _run_pass(
                     # evaluation below would produce (the store's
                     # validity contract), so committing from it
                     # preserves the serial greedy sequence exactly.
+                    # ``mutated`` is the count of commits this pass
+                    # (int, truthy once anything landed): the store's
+                    # whole-network invalidation trigger, and the
+                    # dispatcher's cue for when a mid-pass delta ship
+                    # could actually carry something new.
                     outcome = store.lookup(
                         network,
                         f_name,
                         d_name,
-                        mutated=stats.accepted > accepted_before,
+                        mutated=stats.accepted - accepted_before,
                     )
                 if outcome is not None:
                     pair_speculative = True
@@ -703,34 +726,46 @@ def substitute_network(
     #: the same *stats*; charge only this run's ATPG-incomplete delta
     #: (the ledger on the budget is cumulative).
     atpg_incomplete_before = budget.atpg_incomplete if budget else 0
-    with tracer.span(
-        "run", circuit=network.name, mode=config.mode, jobs=config.n_jobs
-    ) as run_span:
-        for index in range(config.max_passes):
-            if budget is not None and budget.exhausted():
-                break
-            with tracer.span("pass", index=index) as pass_span:
-                store = None
-                if engine is not None:
-                    store = engine.precompute(
-                        network, sim_filter=sim_filter, tracer=tracer
-                    )
-                accepted = substitute_pass(
-                    network,
-                    config,
-                    stats,
-                    reference,
-                    sim_filter=sim_filter,
-                    store=store,
-                    budget=budget,
-                    ledger=ledger,
-                    tracer=tracer,
-                )
-                pass_span.annotate(accepted=accepted)
-            if accepted == 0:
-                break
-        network.sweep_dangling()
-        run_span.annotate(accepted=stats.accepted)
+    try:
+        with tracer.span(
+            "run", circuit=network.name, mode=config.mode,
+            jobs=config.n_jobs,
+        ) as run_span:
+            for index in range(config.max_passes):
+                if budget is not None and budget.exhausted():
+                    break
+                with tracer.span("pass", index=index) as pass_span:
+                    store = None
+                    if engine is not None:
+                        store = engine.precompute(
+                            network, sim_filter=sim_filter, tracer=tracer
+                        )
+                    try:
+                        accepted = substitute_pass(
+                            network,
+                            config,
+                            stats,
+                            reference,
+                            sim_filter=sim_filter,
+                            store=store,
+                            budget=budget,
+                            ledger=ledger,
+                            tracer=tracer,
+                        )
+                    finally:
+                        if engine is not None and store is not None:
+                            engine.finish_pass(store)
+                    pass_span.annotate(accepted=accepted)
+                if accepted == 0:
+                    break
+            network.sweep_dangling()
+            run_span.annotate(accepted=stats.accepted)
+    finally:
+        # The engine owns OS resources (worker processes, a shared
+        # memory segment); close unconditionally so a budget stop or
+        # an engine error can never leak them.
+        if engine is not None:
+            engine.close()
     if sim_filter is not None:
         # Pick up nodes dropped by the sweep, then fold the filter's
         # counters into the run statistics.  Accumulate — *stats* may
@@ -749,6 +784,15 @@ def substitute_network(
         stats.worker_faults += engine.worker_faults
         stats.shards_redispatched += engine.shards_redispatched
         stats.degraded_to_serial += engine.degraded_to_serial
+        stats.parallel_deltas_shipped += engine.deltas_shipped
+        stats.parallel_delta_nodes += engine.delta_nodes
+        stats.parallel_pairs_stale_skipped += engine.pairs_stale_skipped
+        stats.parallel_snapshot_bytes += engine.snapshot_bytes
+        stats.parallel_batch_bytes += engine.batch_bytes
+        for phase, seconds in engine.phase_seconds.items():
+            stats.parallel_phase_seconds[phase] = (
+                stats.parallel_phase_seconds.get(phase, 0.0) + seconds
+            )
     if ledger is not None:
         stats.commits_verified += ledger.verified
         stats.commits_rolled_back += ledger.rolled_back

@@ -165,11 +165,18 @@ _SUBSTITUTION_COUNTERS = (
 
 #: SubstitutionStats parallel/fault fields → parallel.* counters
 #: (these originate on the executors and the speculative engine).
+#: Fields newer than a snapshot default to 0 (``data.get``), so old
+#: ``--stats-json`` reports keep loading.
 _PARALLEL_COUNTERS = (
     "parallel_batches",
     "parallel_pairs_evaluated",
     "parallel_pairs_reused",
     "parallel_pairs_invalidated",
+    "parallel_deltas_shipped",
+    "parallel_delta_nodes",
+    "parallel_pairs_stale_skipped",
+    "parallel_snapshot_bytes",
+    "parallel_batch_bytes",
     "worker_faults",
     "shards_redispatched",
     "degraded_to_serial",
@@ -225,8 +232,14 @@ def metrics_from_run(stats) -> MetricsRegistry:
         name = field[len("parallel_"):] if field.startswith(
             "parallel_"
         ) else field
-        registry.counter(f"parallel.{name}").inc(int(data[field]))
+        registry.counter(f"parallel.{name}").inc(int(data.get(field, 0)))
     registry.gauge("parallel.jobs").set(data["parallel_jobs"])
+    for phase, seconds in sorted(
+        (data.get("parallel_phase_seconds") or {}).items()
+    ):
+        registry.timing(f"parallel.phase_{phase}_seconds").observe(
+            float(seconds)
+        )
 
     for field in _RESILIENCE_COUNTERS:
         registry.counter(f"resilience.{field}").inc(int(data[field]))

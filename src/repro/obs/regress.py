@@ -42,6 +42,19 @@ DETERMINISTIC_COUNTERS = (
     "substitution.divisors_pruned",
     "substitution.variants_pruned",
     "substitution.atpg_incomplete",
+    # The speculative-store economics and the delta protocol are
+    # deterministic by construction: shards are dispatched and reaped
+    # only at points the serial greedy loop itself reaches, never on
+    # worker-completion timing (see repro.parallel.engine), so these
+    # get the same exact-equality gate for a fixed (circuit, config,
+    # jobs, code) tuple.
+    "parallel.batches",
+    "parallel.pairs_evaluated",
+    "parallel.pairs_reused",
+    "parallel.pairs_invalidated",
+    "parallel.deltas_shipped",
+    "parallel.delta_nodes",
+    "parallel.pairs_stale_skipped",
 )
 
 #: Gauges under the same exact-equality contract (the paper's quality

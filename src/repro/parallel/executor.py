@@ -1,13 +1,19 @@
 """Executor backends for the speculative division engine.
 
-Both backends consume the same pickled snapshot payload and the same
-batches of (dividend, divisor) pairs, and both return
+Both backends are **persistent**: built once per ``substitute_network``
+run, they hold their worker state (network copy, ``DivisorFilter``,
+GDC circuit cache) across every pass.  Both consume the same pickled
+base-snapshot payload, accept shards of (dividend, divisor) pairs with
+a delta log (:mod:`repro.parallel.delta`), and return
 :class:`~repro.parallel.worker.PairOutcome` lists — the engine above
 them never knows which one it is talking to:
 
 * :class:`ProcessExecutor` — a :class:`concurrent.futures.
-  ProcessPoolExecutor`; the payload is unpickled once per worker
-  process (pool initializer), batches travel as small name lists.
+  ProcessPoolExecutor` spawned once; the payload is unpickled once per
+  worker process (pool initializer), shards travel as small name lists
+  plus delta records, and results are reaped lazily so several shards
+  stay in flight while the main process commits
+  (:meth:`submit` / :meth:`result`).
 * :class:`SerialExecutor` — the identical evaluation in-process against
   a private unpickled copy.  Used for ``parallel_backend="serial"``
   (debugging, commit-protocol tests) and as the automatic fallback
@@ -15,16 +21,21 @@ them never knows which one it is talking to:
 
 Fault containment (the process backend's retry ladder):
 
-1. every future is collected under ``try``; a lost worker, a broken
+1. every reaped future sits under ``try``; a lost worker, a broken
    pool, a pickling error or a worker-raised exception marks just that
-   *shard* (batch) as failed and counts a ``worker_fault``;
+   *shard* as failed and counts a ``worker_fault``;
 2. failed shards are re-dispatched onto a **fresh** pool up to
-   ``max_retries`` times (``shards_redispatched``) — a crashed
-   ``ProcessPoolExecutor`` poisons every outstanding future, so the
-   pool is always rebuilt before a retry;
-3. shards that keep failing are evaluated in-process on a private
+   ``max_retries`` times (``shards_redispatched``).  A crashed
+   ``ProcessPoolExecutor`` poisons every outstanding future, so on
+   failure the executor first drains everything in flight, then
+   rebuilds the pool once for the whole failure wave; respawned
+   workers start from the base snapshot and *replay the shard's full
+   delta log* (records ride with every submission), which restores the
+   exact generation the shard was aimed at;
+3. shards that keep failing are evaluated in-process on a persistent
    :class:`~repro.parallel.worker.WorkerContext`
-   (``degraded_to_serial``), which cannot lose a process.
+   (``degraded_to_serial``), which cannot lose a process and applies
+   the same delta log.
 
 Because speculative outcomes are *hints* — the commit protocol
 validates each one against the live network — any recovery path yields
@@ -33,12 +44,21 @@ the same optimized network as a serial run; only the stats differ.
 Both executors are context managers; ``__exit__`` shuts the backend
 down (cancelling still-queued futures when an exception is unwinding)
 so an error inside the engine can never leak a live process pool.
+``close()`` is idempotent and ordered: it drops the in-flight table
+*before* shutting the pool down and never re-enters a pool that a
+``cancel_futures`` teardown already destroyed — the rung-3 fallback
+path only ever touches the pool through ``_rebuild_pool``'s
+``None``-guard, so a double-close cannot happen.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import dataclasses
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.parallel.delta import DeltaRecord
 from repro.parallel.worker import (
     PairOutcome,
     WorkerContext,
@@ -49,31 +69,74 @@ from repro.parallel.worker import (
 Pair = Tuple[str, str]
 
 
+@dataclasses.dataclass
+class _Task:
+    """One submitted shard: everything needed to re-dispatch it."""
+
+    index: int
+    pairs: List[Pair]
+    deltas: Tuple[DeltaRecord, ...]
+    retries: int = 0
+
+    @property
+    def generation(self) -> int:
+        """The mutation generation the shard was aimed at (the last
+        record of the log it shipped with; 0 = base snapshot)."""
+        return self.deltas[-1].generation if self.deltas else 0
+
+
 class SerialExecutor:
-    """In-process executor over a private snapshot copy."""
+    """In-process executor over a private, persistent snapshot copy."""
 
     workers = 1
     worker_faults = 0
     shards_redispatched = 0
     degraded_to_serial = 0
+    #: Evaluation happens inline during :meth:`submit`; the dispatcher
+    #: uses a window of 1 (pipelining has nothing to overlap).
+    concurrent = False
 
     def __init__(self, payload: bytes, injection=None):
         self._context = WorkerContext(payload, injection=injection)
+        self._results: Dict[int, List[PairOutcome]] = {}
         #: Worker-recorded trace events (empty when tracing is off);
         #: the engine absorbs these into the main trace.
         self.trace_events: List[dict] = []
+        self.worker_build_seconds = self._context.build_seconds
+        self.evaluate_seconds = 0.0
 
+    # -- persistent submit/reap API ------------------------------------
+    def submit(
+        self,
+        index: int,
+        pairs: Sequence[Pair],
+        deltas: Sequence[DeltaRecord] = (),
+    ) -> None:
+        if self._context is None:
+            raise RuntimeError("executor is closed")
+        start = time.perf_counter()
+        self._results[index] = self._context.evaluate(
+            list(pairs), batch_index=index, deltas=tuple(deltas)
+        )
+        self.evaluate_seconds += time.perf_counter() - start
+        self.trace_events.extend(self._context.tracer.drain())
+
+    def result(self, index: int) -> List[PairOutcome]:
+        return self._results.pop(index)
+
+    # -- batch compatibility API ---------------------------------------
     def evaluate(
         self, batches: Sequence[Sequence[Pair]]
     ) -> List[PairOutcome]:
         out: List[PairOutcome] = []
         for index, batch in enumerate(batches):
-            out.extend(self._context.evaluate(batch, batch_index=index))
-        self.trace_events.extend(self._context.tracer.drain())
+            self.submit(index, batch)
+            out.extend(self.result(index))
         return out
 
     def close(self, cancel: bool = False) -> None:
         self._context = None
+        self._results.clear()
 
     def __enter__(self) -> "SerialExecutor":
         return self
@@ -83,7 +146,8 @@ class SerialExecutor:
 
 
 class ProcessExecutor:
-    """Process-pool executor; one snapshot unpickle per worker.
+    """Persistent process-pool executor; one snapshot unpickle per
+    worker process for the whole run.
 
     Failed shards climb the retry ladder described in the module doc.
     *injection* (tests only) is forwarded to the workers through the
@@ -91,6 +155,10 @@ class ProcessExecutor:
     disarmed when the pool is rebuilt, so a redispatch models recovery
     from a one-off fault.
     """
+
+    #: Shards really run beside the main process: the dispatcher keeps
+    #: a multi-shard window in flight to overlap the commit loop.
+    concurrent = True
 
     def __init__(
         self,
@@ -105,8 +173,15 @@ class ProcessExecutor:
         self.shards_redispatched = 0
         self.degraded_to_serial = 0
         self.trace_events: List[dict] = []
+        self.worker_build_seconds = 0.0
+        self.evaluate_seconds = 0.0
         self._payload = payload
         self._injection = injection
+        self._tasks: Dict[int, _Task] = {}
+        self._inflight: Dict[int, object] = {}
+        self._failed: List[int] = []
+        self._results: Dict[int, List[PairOutcome]] = {}
+        self._fallback: Optional[WorkerContext] = None
         self._pool = self._spawn_pool()
 
     # ------------------------------------------------------------------
@@ -126,14 +201,23 @@ class ProcessExecutor:
     def _rebuild_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
+            self._pool = None
         if self._injection is not None and not self._injection.persistent:
             self._injection = None
         self._pool = self._spawn_pool()
 
     def close(self, cancel: bool = False) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(cancel_futures=cancel)
-            self._pool = None
+        # Ordering matters: forget the in-flight futures first, then
+        # shut the pool down exactly once.  ``_pool`` goes ``None``
+        # before anything that could re-enter (the fallback rung only
+        # rebuilds through the same guard), so a close after a
+        # ``cancel_futures`` teardown is a no-op, not a double-close.
+        self._inflight.clear()
+        self._failed.clear()
+        self._fallback = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(cancel_futures=cancel)
 
     def __enter__(self) -> "ProcessExecutor":
         return self
@@ -142,67 +226,156 @@ class ProcessExecutor:
         self.close(cancel=exc_type is not None)
 
     # ------------------------------------------------------------------
-    # Evaluation with the retry ladder
+    # Persistent submit/reap with the retry ladder
     # ------------------------------------------------------------------
-    def _dispatch(
+    def submit(
         self,
-        pending: Dict[int, List[Pair]],
-        results: Dict[int, List[PairOutcome]],
-    ) -> List[int]:
-        """Submit *pending* shards; return the indices that failed."""
-        futures = {
-            index: self._pool.submit(_pool_evaluate, index, pairs)
-            for index, pairs in sorted(pending.items())
-        }
-        failed: List[int] = []
-        for index, future in futures.items():
-            try:
-                outcomes, events = future.result()
-                results[index] = outcomes
-                self.trace_events.extend(events)
-            except Exception:
-                # BrokenProcessPool, PicklingError, or an exception the
-                # worker raised: contain it to this shard.
-                self.worker_faults += 1
-                failed.append(index)
-        return failed
+        index: int,
+        pairs: Sequence[Pair],
+        deltas: Sequence[DeltaRecord] = (),
+    ) -> None:
+        """Queue one shard onto the pool (non-blocking)."""
+        if self._pool is None:
+            raise RuntimeError("executor is closed")
+        task = _Task(index, list(pairs), tuple(deltas))
+        self._tasks[index] = task
+        self._submit_task(task)
 
-    def evaluate(
-        self, batches: Sequence[Sequence[Pair]]
-    ) -> List[PairOutcome]:
-        pending = {
-            index: list(batch) for index, batch in enumerate(batches)
-        }
-        results: Dict[int, List[PairOutcome]] = {}
-        failed = self._dispatch(pending, results)
-        retries = 0
-        while failed and retries < self.max_retries:
-            retries += 1
-            self.shards_redispatched += len(failed)
+    def _submit_task(self, task: _Task) -> None:
+        try:
+            self._inflight[task.index] = self._pool.submit(
+                _pool_evaluate, task.index, task.pairs, task.deltas
+            )
+        except Exception:
+            # Pool already broken: defer to the next failure wave.
+            self._failed.append(task.index)
+
+    def result(self, index: int) -> List[PairOutcome]:
+        """Block until shard *index* is done; climb the ladder if it
+        (or the pool under it) failed."""
+        while index not in self._results:
+            self._step(index)
+        return self._results.pop(index)
+
+    def _step(self, index: int) -> None:
+        future = self._inflight.pop(index, None)
+        if future is not None:
+            try:
+                self._record(index, future.result())
+                return
+            except Exception:
+                self._failed.append(index)
+        elif index not in self._failed:
+            raise KeyError(f"shard {index} was never submitted")
+        self._run_failure_wave()
+
+    def _record(self, index: int, value) -> None:
+        outcomes, events, meta = value
+        task = self._tasks.get(index)
+        if task is not None and meta.get("generation", 0) > task.generation:
+            # Deltas are not invertible, so a context that already
+            # replayed a *newer* generation (possible only after a
+            # failure wave reordered shards) evaluated this shard
+            # against later state than the store pinned its validity
+            # to.  Discard: the pairs simply evaluate live.
+            outcomes = []
+        self._results[index] = outcomes
+        self.trace_events.extend(events)
+        self.worker_build_seconds += meta.get("build_seconds", 0.0)
+        self.evaluate_seconds += meta.get("eval_seconds", 0.0)
+
+    def _run_failure_wave(self) -> None:
+        """Handle every failure discovered so far in one sweep.
+
+        A broken pool poisons all outstanding futures, so first drain
+        everything in flight (successes are kept — their futures
+        resolved before the crash), then rebuild the pool **once** and
+        re-dispatch the whole failed set, falling back in-process for
+        shards that exhausted their retries.
+        """
+        for other, future in list(self._inflight.items()):
+            try:
+                self._record(other, future.result())
+            except Exception:
+                self._failed.append(other)
+            del self._inflight[other]
+        if not self._failed:
+            return
+        failed, self._failed = self._failed, []
+        self.worker_faults += len(failed)
+        retryable: List[int] = []
+        exhausted: List[int] = []
+        for index in sorted(failed):
+            task = self._tasks[index]
+            if task.retries < self.max_retries:
+                retryable.append(index)
+            else:
+                exhausted.append(index)
+        if retryable:
             try:
                 self._rebuild_pool()
             except (ImportError, OSError):
-                break  # cannot get a fresh pool: go straight to rung 3
-            failed = self._dispatch(
-                {index: pending[index] for index in failed}, results
-            )
-        if failed:
-            # Rung 3: evaluate the stubborn shards in-process.  The
-            # injection plan rides along — its destructive hooks are
-            # pid-guarded and cannot fire in the parent.
+                exhausted = sorted(exhausted + retryable)
+                retryable = []
+        for index in retryable:
+            task = self._tasks[index]
+            task.retries += 1
+            self.shards_redispatched += 1
+            self._submit_task(task)
+        if exhausted:
+            # Rung 3: evaluate the stubborn shards in-process on a
+            # persistent fallback context.  The injection plan rides
+            # along — its destructive hooks are pid-guarded and cannot
+            # fire in the parent.  The full delta log travels with
+            # each task, so the fallback replays to the right
+            # generation no matter when it was built.
             self.degraded_to_serial += 1
-            fallback = WorkerContext(
-                self._payload, injection=self._injection
-            )
-            for index in sorted(failed):
-                results[index] = fallback.evaluate(
-                    pending[index], batch_index=index
+            if self._fallback is None:
+                self._fallback = WorkerContext(
+                    self._payload, injection=self._injection
                 )
-            self.trace_events.extend(fallback.tracer.drain())
+                self.worker_build_seconds += self._fallback.build_seconds
+            for index in exhausted:
+                task = self._tasks[index]
+                if self._fallback.generation > task.generation:
+                    # Same guard as ``_record``: the persistent
+                    # fallback cannot rewind to this shard's older
+                    # generation, so its pairs evaluate live instead.
+                    self._results[index] = []
+                    continue
+                start = time.perf_counter()
+                self._results[index] = self._fallback.evaluate(
+                    task.pairs, batch_index=index, deltas=task.deltas
+                )
+                self.evaluate_seconds += time.perf_counter() - start
+            self.trace_events.extend(self._fallback.tracer.drain())
+
+    # ------------------------------------------------------------------
+    # Batch compatibility API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, batches: Sequence[Sequence[Pair]]
+    ) -> List[PairOutcome]:
+        for index, batch in enumerate(batches):
+            self.submit(index, batch)
         out: List[PairOutcome] = []
-        for index in sorted(results):
-            out.extend(results[index])
+        for index in range(len(batches)):
+            out.extend(self.result(index))
         return out
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve the ``"auto"`` backend to a concrete one.
+
+    The process pool only pays off when the machine can actually run
+    workers beside the main process; on a single-core host it adds
+    scheduling overhead and nothing else, so ``"auto"`` selects the
+    in-process engine there — same protocol, same output, none of the
+    pool cost.
+    """
+    if backend != "auto":
+        return backend
+    return "process" if (os.cpu_count() or 1) > 1 else "serial"
 
 
 def make_executor(
@@ -213,6 +386,7 @@ def make_executor(
     max_retries: int = 2,
 ):
     """Build the configured executor over a snapshot *payload*."""
+    backend = resolve_backend(backend)
     if backend == "serial" or n_jobs == 1:
         return SerialExecutor(payload, injection=injection)
     if backend == "process":

@@ -1,11 +1,23 @@
 """Worker side of the speculative division engine.
 
-A worker owns a private, frozen copy of the network (unpickled once per
-process via the pool initializer, or a plain in-process copy for the
-``serial`` backend) plus an optional :class:`DivisorFilter` rebuilt
-from the main process's signature snapshot — so workers prune with the
-exact signatures the main process had at snapshot time instead of
-re-simulating from scratch.
+A worker owns a private copy of the network, unpickled **once per
+process lifetime** from the base snapshot payload (pool initializer,
+or a plain in-process copy for the ``serial`` backend), plus an
+optional :class:`DivisorFilter` whose signatures come either from an
+inline snapshot dict or — the persistent-pool default — from a
+:class:`~repro.sim.signature.SharedSignatureRef` pointing at the
+bitmaps in shared memory (the worker attaches, reads, and closes the
+mapping; only the main process ever unlinks the segment).
+
+Across substitution passes the worker stays resident: instead of fresh
+snapshot pickles it receives :class:`~repro.parallel.delta.DeltaRecord`
+lists with each batch, applies the ones newer than its current
+mutation generation, and refreshes its signatures incrementally
+(:meth:`SignatureSimulator.refresh` — the generation-keyed caches in
+the filter invalidate themselves).  The per-dividend GDC circuit cache
+survives batches within a generation and is dropped when a delta
+lands (global don't cares see the whole network, so any rewrite
+invalidates every cached analysis circuit).
 
 Every entry point here is module-level and operates on picklable data
 only: that is the worker-serialization contract
@@ -18,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import pickle
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import DivisionConfig
@@ -29,9 +42,10 @@ from repro.core.division import (
 )
 from repro.network.network import Network
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.delta import DeltaRecord, apply_pending
 from repro.resilience import inject
 from repro.sim.filter import DivisorFilter
-from repro.sim.signature import SignatureSimulator
+from repro.sim.signature import SharedSignatureRef, SignatureSimulator
 
 
 @dataclasses.dataclass
@@ -54,7 +68,7 @@ class PairOutcome:
 
 
 class WorkerContext:
-    """Per-process evaluation state: frozen network, config, filter.
+    """Per-process evaluation state: network, config, filter, deltas.
 
     *injection* is an optional test-only
     :class:`~repro.resilience.inject.InjectionPlan` whose hooks fire on
@@ -63,15 +77,25 @@ class WorkerContext:
     """
 
     def __init__(self, payload: bytes, injection=None):
-        network, config, sim_snapshot, trace = pickle.loads(payload)
+        build_start = time.perf_counter()
+        network, config, sim_ref, trace = pickle.loads(payload)
         self.network: Network = network
         self.config: DivisionConfig = config
         self.injection = injection
         self.filter: Optional[DivisorFilter] = None
-        if sim_snapshot is not None:
-            sim = SignatureSimulator.from_snapshot(network, sim_snapshot)
+        if sim_ref is not None:
+            if isinstance(sim_ref, SharedSignatureRef):
+                sim = SignatureSimulator.from_shared(network, sim_ref)
+            else:
+                sim = SignatureSimulator.from_snapshot(network, sim_ref)
             self.filter = DivisorFilter(network, config, sim=sim)
         self._n_enabled = len(enabled_attempts(config))
+        #: Mutation generation of the held network copy; batches carry
+        #: the delta log and :meth:`apply_deltas` replays anything
+        #: newer (0 = the base snapshot).
+        self.generation = 0
+        #: Deltas applied over the context's lifetime (observability).
+        self.deltas_applied = 0
         #: Worker-local tracer: spans recorded here are drained after
         #: each batch and shipped back with the shard result, so the
         #: main process can merge one trace for the whole run.  The
@@ -81,19 +105,75 @@ class WorkerContext:
             Tracer(proc=f"worker-{os.getpid()}") if trace else NULL_TRACER
         )
         # GDC analysis circuits are divisor-independent, so they are
-        # cached per dividend for the lifetime of the (frozen) snapshot.
+        # cached per dividend for as long as the network generation
+        # holds (dropped on every applied delta).
         self._circuits: Dict[str, object] = {}
+        self.build_seconds = time.perf_counter() - build_start
+        self._build_reported = False
+
+    # ------------------------------------------------------------------
+    # Delta replay
+    # ------------------------------------------------------------------
+    def apply_deltas(self, deltas: Sequence[DeltaRecord]) -> int:
+        """Apply every record newer than the held generation, in order.
+
+        Returns the number of records applied.  Idempotent: the full
+        delta log travels with every batch, so a worker that already
+        saw a pass's record skips it, while a freshly respawned worker
+        replays the whole log from the base snapshot.
+        """
+        if not deltas:
+            return 0
+        before = self.generation
+        with self.tracer.span(
+            "delta_apply", from_generation=before
+        ) as span:
+            self.generation, roots = apply_pending(
+                self.network, deltas, before
+            )
+            applied = sum(
+                1 for record in deltas if record.generation > before
+            )
+            if applied:
+                self._circuits.clear()
+                if self.filter is not None:
+                    self.filter.note_mutation(roots)
+                self.deltas_applied += applied
+            span.annotate(
+                applied=applied,
+                to_generation=self.generation,
+                roots=len(roots),
+            )
+        return applied
 
     def evaluate(
-        self, pairs: Sequence[Tuple[str, str]], batch_index: int = 0
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        batch_index: int = 0,
+        deltas: Sequence[DeltaRecord] = (),
     ) -> List[PairOutcome]:
         inject.fire_batch_hooks(self.injection, batch_index)
+        self.apply_deltas(deltas)
         network, config, tracer = self.network, self.config, self.tracer
         out: List[PairOutcome] = []
+        #: Greedy short-circuit: once a dividend yields a profitable
+        #: division, the commit loop will almost surely accept it and
+        #: rewrite the dividend, invalidating every later outcome for
+        #: the same dividend — so evaluating them here is wasted work
+        #: (they would be re-evaluated live anyway).  The skip is
+        #: per-shard state, keeping each shard's outcomes a pure
+        #: function of (pairs, generation) — worker identity and
+        #: history never leak into the results.
+        skip_dividend: Optional[str] = None
         with tracer.span(
-            "worker_batch", batch=batch_index, pairs=len(pairs)
+            "worker_batch",
+            batch=batch_index,
+            pairs=len(pairs),
+            generation=self.generation,
         ):
             for f_name, d_name in pairs:
+                if f_name == skip_dividend:
+                    continue
                 with tracer.span(
                     "pair", f=f_name, d=d_name, speculative=True
                 ) as pair_span:
@@ -143,18 +223,38 @@ class WorkerContext:
                             result,
                         )
                     )
+                    if result is not None:
+                        skip_dividend = f_name
         inject.corrupt_outcomes(self.injection, batch_index, out)
         return out
+
+    def shard_meta(self, eval_seconds: float) -> Dict[str, float]:
+        """Per-shard bookkeeping shipped back with the outcomes.
+
+        ``build_seconds`` is reported once per context so the engine's
+        phase accounting sums worker build cost without double counts.
+        """
+        build = 0.0 if self._build_reported else self.build_seconds
+        self._build_reported = True
+        return {
+            "build_seconds": build,
+            "eval_seconds": eval_seconds,
+            "generation": float(self.generation),
+        }
 
 
 def make_payload(
     network: Network,
     config: DivisionConfig,
-    sim_snapshot: Optional[Dict[str, object]],
+    sim_snapshot,
     trace: bool = False,
 ) -> bytes:
-    """Pickle the frozen snapshot shipped to every worker once.
+    """Pickle the base snapshot shipped to every worker exactly once.
 
+    *sim_snapshot* is ``None``, an inline
+    :meth:`~repro.sim.signature.SignatureSimulator.snapshot` dict, or a
+    :class:`~repro.sim.signature.SharedSignatureRef` (the bitmaps stay
+    in shared memory and only the small ref rides in the pickle).
     *trace* arms the workers' local tracers; their spans come back
     with each shard result (see :func:`_pool_evaluate`).
     """
@@ -175,9 +275,13 @@ def _pool_init(payload: bytes, injection=None) -> None:
 
 
 def _pool_evaluate(
-    batch_index: int, pairs: Sequence[Tuple[str, str]]
-) -> Tuple[List[PairOutcome], List[dict]]:
-    """Evaluate one shard; returns (outcomes, worker trace events)."""
+    batch_index: int,
+    pairs: Sequence[Tuple[str, str]],
+    deltas: Sequence[DeltaRecord] = (),
+) -> Tuple[List[PairOutcome], List[dict], Dict[str, float]]:
+    """Evaluate one shard; returns (outcomes, trace events, meta)."""
     assert _CONTEXT is not None, "worker used before initialization"
-    outcomes = _CONTEXT.evaluate(pairs, batch_index=batch_index)
-    return outcomes, _CONTEXT.tracer.drain()
+    start = time.perf_counter()
+    outcomes = _CONTEXT.evaluate(pairs, batch_index=batch_index, deltas=deltas)
+    meta = _CONTEXT.shard_meta(time.perf_counter() - start)
+    return outcomes, _CONTEXT.tracer.drain(), meta

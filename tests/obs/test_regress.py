@@ -85,9 +85,27 @@ class TestDeterministic:
         del base["counters"]["substitution.attempts"]
         assert compare_snapshots(base, snapshot()).ok
 
-    def test_every_deterministic_metric_is_substitution_scoped(self):
-        for name in DETERMINISTIC_COUNTERS + DETERMINISTIC_GAUGES:
+    def test_every_deterministic_metric_is_scoped(self):
+        # Exact-equality gating only makes sense for namespaces that
+        # are deterministic by construction: the substitution ledger
+        # and the speculative-store/delta protocol (whose dispatch
+        # points are all reached by the serial greedy loop).
+        for name in DETERMINISTIC_COUNTERS:
+            assert name.startswith(("substitution.", "parallel."))
+        for name in DETERMINISTIC_GAUGES:
             assert name.startswith("substitution.")
+
+    def test_parallel_ledger_counters_are_gated(self):
+        # Satellite of the persistent-pool PR: reuse/invalidation and
+        # the delta counters are part of the exact-equality contract.
+        for name in (
+            "parallel.pairs_reused",
+            "parallel.pairs_invalidated",
+            "parallel.deltas_shipped",
+            "parallel.delta_nodes",
+            "parallel.pairs_stale_skipped",
+        ):
+            assert name in DETERMINISTIC_COUNTERS
 
 
 class TestWallTimes:

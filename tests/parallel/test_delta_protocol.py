@@ -1,0 +1,187 @@
+"""Unit tests of the cumulative delta-record protocol.
+
+A resident worker holds its network copy at *some* shipped generation
+— possibly the base snapshot (a fresh respawn), possibly any
+intermediate ship.  :func:`~repro.parallel.delta.cumulative_record`
+must produce one record that brings *all* of those states to the live
+network: same ``(fanins, cover)`` per node, same dict insertion order,
+no leftover nodes.  These tests drive the tricky histories directly —
+rewrites, creations, deletions, created-then-deleted, and
+reverted-to-base nodes — and check the replay laws (idempotence,
+order-insensitivity of :func:`apply_pending`, no-op updates staying
+out of the dirty-root set).
+"""
+
+import random
+
+from repro.bench.generators import planted_network
+from repro.parallel.delta import (
+    apply_pending,
+    apply_record,
+    capture_states,
+    cumulative_record,
+    diff_network,
+)
+from repro.twolevel.complement import complement
+
+
+def _network(seed=931):
+    return planted_network(
+        f"delta{seed}", seed=seed, n_pis=7, n_divisors=3, n_targets=4
+    )
+
+
+def _states(network):
+    return capture_states(network)
+
+
+def _order(network):
+    return list(network.nodes.keys())
+
+
+def _rewrite(network, index=0):
+    """Complement one internal node's cover (a real, legal rewrite)."""
+    node = network.internal_nodes()[index]
+    node.set_function(list(node.fanins), complement(node.cover))
+    return node.name
+
+
+class TestDiffRoundtrip:
+    def test_diff_apply_reproduces_states_and_order(self):
+        live = _network()
+        worker = live.copy(live.name)
+        shipped = _states(live)
+        _rewrite(live, 0)
+        pi = live.internal_nodes()[1]
+        live.add_node("dx_new", list(pi.fanins), pi.cover)
+        record, _ = diff_network(live, shipped, 1)
+        assert record.node_count() == 2
+        apply_record(worker, record)
+        assert _states(worker) == _states(live)
+        assert _order(worker) == _order(live)
+
+    def test_empty_diff_for_unchanged_network(self):
+        live = _network()
+        record, _ = diff_network(live, _states(live), 1)
+        assert record.node_count() == 0
+
+
+class TestCumulativeRecord:
+    def test_corrects_worker_at_any_generation(self):
+        live = _network()
+        base_states = _states(live)
+        fresh_worker = live.copy(live.name)  # generation 0
+        ever = set()
+
+        _rewrite(live, 0)
+        first = cumulative_record(live, base_states, ever, 1)
+        ever.update(u.name for u in first.updates)
+        behind_worker = live.copy(live.name)  # saw the first ship
+
+        _rewrite(live, 1)
+        pi = live.internal_nodes()[2]
+        live.add_node("dx_late", list(pi.fanins), pi.cover)
+        second = cumulative_record(live, base_states, ever, 2)
+
+        for worker in (fresh_worker, behind_worker):
+            apply_record(worker, second)
+            assert _states(worker) == _states(live)
+            assert _order(worker) == _order(live)
+
+    def test_reverted_node_still_shipped_for_behind_workers(self):
+        # A node rewritten (and shipped) then restored to its base
+        # state: the live network matches base, but a worker that saw
+        # the intermediate ship does not — ever_updated keeps it in
+        # the updates.
+        live = _network()
+        base_states = _states(live)
+        node = live.internal_nodes()[0]
+        original = (list(node.fanins), node.cover)
+        name = _rewrite(live, 0)
+        first = cumulative_record(live, base_states, set(), 1)
+        ever = {u.name for u in first.updates}
+        behind_worker = live.copy(live.name)
+
+        node.set_function(*original)  # revert to base state
+        second = cumulative_record(live, base_states, ever, 2)
+        assert name in {u.name for u in second.updates}
+        apply_record(behind_worker, second)
+        assert _states(behind_worker) == _states(live)
+
+    def test_created_then_deleted_node_is_removed_everywhere(self):
+        live = _network()
+        base_states = _states(live)
+        pi = live.internal_nodes()[0]
+        live.add_node("dx_tmp", list(pi.fanins), pi.cover)
+        first = cumulative_record(live, base_states, set(), 1)
+        ever = {u.name for u in first.updates}
+        behind_worker = live.copy(live.name)
+        assert "dx_tmp" in behind_worker.nodes
+
+        live.remove_node("dx_tmp")
+        second = cumulative_record(live, base_states, ever, 2)
+        assert "dx_tmp" in second.deletions
+        apply_record(behind_worker, second)
+        assert "dx_tmp" not in behind_worker.nodes
+        assert _states(behind_worker) == _states(live)
+        # Harmless for a worker that never saw the node.
+        fresh_worker = _network()
+        apply_record(fresh_worker, second)
+        assert "dx_tmp" not in fresh_worker.nodes
+
+    def test_noop_updates_produce_no_dirty_roots(self):
+        # Re-listing every ever-shipped node must not resim their
+        # cones on workers that are already current.
+        live = _network()
+        base_states = _states(live)
+        _rewrite(live, 0)
+        record = cumulative_record(live, base_states, set(), 1)
+        worker = live.copy(live.name)  # already current
+        assert apply_record(worker, record) == []
+        assert _states(worker) == _states(live)
+
+
+class TestReplayLaws:
+    def _history(self):
+        """Three consecutive cumulative records over a mutating net."""
+        live = _network()
+        base_states = _states(live)
+        records = []
+        ever = set()
+        for generation in (1, 2, 3):
+            _rewrite(live, generation % 3)
+            record = cumulative_record(
+                live, base_states, ever, generation
+            )
+            ever.update(u.name for u in record.updates)
+            records.append(record)
+        return live, records
+
+    def test_apply_pending_is_order_insensitive(self):
+        live, records = self._history()
+        rng = random.Random(17)
+        for _ in range(4):
+            shuffled = list(records)
+            rng.shuffle(shuffled)
+            worker = _network()
+            generation, _ = apply_pending(worker, shuffled, 0)
+            assert generation == 3
+            assert _states(worker) == _states(live)
+
+    def test_apply_pending_skips_already_applied(self):
+        live, records = self._history()
+        worker = _network()
+        apply_pending(worker, records, 0)
+        generation, roots = apply_pending(worker, records, 3)
+        assert generation == 3
+        assert roots == []
+        assert _states(worker) == _states(live)
+
+    def test_replay_is_idempotent(self):
+        live, records = self._history()
+        worker = _network()
+        apply_pending(worker, records, 0)
+        again, roots = apply_pending(worker, [records[-1]], 0)
+        assert again == 3
+        assert roots == []  # all no-ops: nothing to resim
+        assert _states(worker) == _states(live)

@@ -13,6 +13,7 @@ The quick subset runs in tier-1; the full ~30-network sweep over
 """
 
 import dataclasses
+import random
 
 import pytest
 
@@ -20,6 +21,7 @@ from repro.bench.generators import planted_network, planted_pos_network
 from repro.core.config import BASIC, EXTENDED, EXTENDED_GDC
 from repro.core.substitution import substitute_network
 from repro.network.blif import to_blif_str
+from repro.resilience import inject
 
 
 def _fuzz_cases():
@@ -63,10 +65,15 @@ def _assert_identical(case, config, n_jobs):
 
 QUICK_CASES = _fuzz_cases()[::4]  # every 4th: 8 cases in tier-1
 
+#: The process pool is forced where the pool itself is the subject —
+#: the default "auto" backend resolves to the in-process engine on a
+#: single-core machine and would silently skip the pool there.
+PROC_BASIC = dataclasses.replace(BASIC, parallel_backend="process")
+
 
 @pytest.mark.parametrize("case", QUICK_CASES, ids=lambda c: f"{c[0]}{c[1]}")
 def test_process_pool_matches_serial_basic(case):
-    _assert_identical(case, BASIC, n_jobs=2)
+    _assert_identical(case, PROC_BASIC, n_jobs=2)
 
 
 @pytest.mark.parametrize(
@@ -75,14 +82,16 @@ def test_process_pool_matches_serial_basic(case):
     ids=["ext", "ext_gdc"],
 )
 def test_process_pool_matches_serial_extended(config, label):
+    config = dataclasses.replace(config, parallel_backend="process")
     _assert_identical(_fuzz_cases()[1], config, n_jobs=2)
 
 
 def test_inprocess_backend_matches_serial():
     config = dataclasses.replace(BASIC, parallel_backend="serial")
     stats = _assert_identical(_fuzz_cases()[2], config, n_jobs=3)
-    # The in-process backend runs the same speculative protocol.
-    assert stats.parallel_jobs == 1
+    # The in-process backend runs the same speculative protocol and
+    # reports the requested job count.
+    assert stats.parallel_jobs == 3
     assert stats.parallel_pairs_evaluated > 0
 
 
@@ -107,3 +116,40 @@ def test_full_fuzz_sweep(n_jobs):
     """The slow sweep: every seeded network at every job count."""
     for case in _fuzz_cases():
         _assert_identical(case, BASIC, n_jobs=n_jobs)
+
+
+# ----------------------------------------------------------------------
+# Persistent-pool fault fuzz: kills at randomized points
+# ----------------------------------------------------------------------
+def _fault_plans(case_index):
+    """Seeded random fault plans: the kill lands on a different batch
+    for every network, and every third case keeps the fault firing
+    through pool rebuilds (forcing the in-process fallback rung) —
+    between them the respawned workers replay the cumulative delta at
+    randomized generations."""
+    rng = random.Random(0xD1F * (case_index + 1))
+    return inject.plan(
+        kill_on_batch=rng.randrange(0, 4),
+        persistent=case_index % 3 == 2,
+    )
+
+
+@pytest.mark.fault_injection
+@pytest.mark.parametrize(
+    "case_index", range(0, len(_fuzz_cases()), 4),
+    ids=lambda i: f"case{i}",
+)
+def test_worker_kills_mid_run_keep_output_identical(case_index):
+    case = _fuzz_cases()[case_index]
+    with inject.injected(_fault_plans(case_index)):
+        _assert_identical(case, PROC_BASIC, n_jobs=2)
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.fault_injection
+def test_full_fuzz_sweep_with_worker_kills():
+    """Every fuzz network through the persistent pool with a
+    randomized mid-run worker kill, byte-compared against serial."""
+    for index, case in enumerate(_fuzz_cases()):
+        with inject.injected(_fault_plans(index)):
+            _assert_identical(case, PROC_BASIC, n_jobs=2)

@@ -1,0 +1,131 @@
+"""Shared-memory hygiene for the persistent-pool signature protocol.
+
+The engine parks the signature bitmaps in one
+``multiprocessing.shared_memory`` segment per establish
+(``repro_sig_<pid>_<serial>``): the main process creates and unlinks
+it, workers only ever attach and close.  These tests assert the
+lifecycle holds on every exit path — normal completion, a worker
+killed mid-run, and a ``BudgetExhausted`` early stop — by scanning
+``/dev/shm`` for leaked segments, and run a subprocess with warnings
+promoted to errors so a ``resource_tracker`` leak report fails loudly
+instead of scrolling by at interpreter shutdown.
+"""
+
+import dataclasses
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.generators import planted_network
+from repro.core.config import BASIC
+from repro.core.substitution import substitute_network
+from repro.network.blif import to_blif_str
+from repro.parallel.engine import SHM_PREFIX
+from repro.resilience import inject
+
+#: The shm protocol only runs on the real pool; force it (the "auto"
+#: backend stays in-process on a single-core machine).
+PROC = dataclasses.replace(BASIC, parallel_backend="process")
+
+SHM_DIR = pathlib.Path("/dev/shm")
+
+
+def _segments():
+    if not SHM_DIR.is_dir():  # non-Linux: nothing to scan
+        return set()
+    return {p.name for p in SHM_DIR.glob(f"{SHM_PREFIX}*")}
+
+
+def _network(seed=7321):
+    return planted_network(
+        f"shm{seed}", seed=seed, n_pis=8, n_divisors=3, n_targets=5
+    )
+
+
+@pytest.fixture(autouse=True)
+def no_preexisting_segments():
+    before = _segments()
+    yield
+    leaked = _segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def test_segment_exists_while_engine_is_live():
+    """The positive half of the lifecycle: the engine really parks the
+    bitmaps in a named segment (so the absence checks below are not
+    vacuous), and close() unlinks it."""
+    from repro.parallel.engine import SpeculativeEngine
+    from repro.sim.filter import DivisorFilter
+
+    config = dataclasses.replace(PROC, n_jobs=2)
+    network = _network()
+    engine = SpeculativeEngine(config)
+    store = engine.precompute(
+        network, sim_filter=DivisorFilter(network, config)
+    )
+    try:
+        assert _segments(), "engine did not create a shared segment"
+    finally:
+        engine.finish_pass(store)
+        engine.close()
+    assert not _segments()
+
+
+def test_normal_run_unlinks_segments():
+    network = _network()
+    stats = substitute_network(network, PROC, n_jobs=2)
+    assert stats.parallel_pairs_evaluated > 0
+    assert not _segments()
+
+
+def test_worker_crash_unlinks_segments():
+    serial_net = _network()
+    substitute_network(serial_net, BASIC)
+    network = _network()
+    with inject.injected(inject.plan(kill_on_batch=0)):
+        stats = substitute_network(network, PROC, n_jobs=2)
+    # The kill really happened and recovery still cleaned up.
+    assert stats.worker_faults >= 1
+    assert to_blif_str(network) == to_blif_str(serial_net)
+    assert not _segments()
+
+
+def test_budget_exhausted_stop_unlinks_segments():
+    config = dataclasses.replace(PROC, deadline_seconds=0.0)
+    network = _network()
+    stats = substitute_network(network, config, n_jobs=2)
+    assert stats.budget_report is not None
+    assert not _segments()
+
+
+def test_resource_tracker_reports_no_leaks():
+    """Run the pool protocol in a clean interpreter with warnings
+    promoted to errors: a segment the resource tracker has to clean up
+    after us prints a 'leaked shared_memory' warning at shutdown."""
+    script = (
+        "import dataclasses\n"
+        "from repro.bench.generators import planted_network\n"
+        "from repro.core.config import BASIC\n"
+        "from repro.core.substitution import substitute_network\n"
+        "network = planted_network('shmsub', seed=11, n_pis=8,"
+        " n_divisors=3, n_targets=5)\n"
+        "config = dataclasses.replace(BASIC,"
+        " parallel_backend='process')\n"
+        "stats = substitute_network(network, config, n_jobs=2)\n"
+        "assert stats.parallel_pairs_evaluated > 0\n"
+        "print('OK')\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-W", "error", "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        cwd=str(pathlib.Path(__file__).resolve().parents[2]),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+    assert "leaked" not in proc.stderr
+    assert "resource_tracker" not in proc.stderr

@@ -42,7 +42,11 @@ class TestProcessExecutor:
         pairs = enumerate_candidate_pairs(network, BASIC)
         with ProcessExecutor(payload, n_jobs=2) as executor:
             outcomes = executor.evaluate(shard_pairs(pairs, 8))
-            assert len(outcomes) == len(pairs)
+            # The greedy short-circuit may skip a dividend's tail after
+            # a profitable hit, so outcomes are a subset of the pairs —
+            # never something that was not submitted.
+            assert 0 < len(outcomes) <= len(pairs)
+            assert {(o.f_name, o.d_name) for o in outcomes} <= set(pairs)
         assert executor._pool is None
 
     def test_exception_cannot_leak_a_live_pool(self):

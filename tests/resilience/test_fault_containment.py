@@ -18,6 +18,12 @@ from repro.network.blif import to_blif_str
 from repro.resilience import inject
 
 
+#: Worker-side hooks need actual worker processes: force the pool
+#: (the default "auto" backend stays in-process on a 1-core machine,
+#: where the destructive hooks are pid-guarded no-ops).
+PROC_BASIC = dataclasses.replace(BASIC, parallel_backend="process")
+
+
 def _network(seed=4242):
     return planted_network(
         f"fault{seed}", seed=seed, n_pis=8, n_divisors=3, n_targets=5
@@ -30,7 +36,7 @@ def _serial_blif(seed=4242):
     return to_blif_str(network)
 
 
-def _injected_run(plan, config=BASIC, n_jobs=2, seed=4242):
+def _injected_run(plan, config=PROC_BASIC, n_jobs=2, seed=4242):
     network = _network(seed)
     with inject.injected(plan):
         stats = substitute_network(network, config, n_jobs=n_jobs)
@@ -110,7 +116,7 @@ class TestInjectionHygiene:
 
     def test_uninjected_parallel_run_reports_no_faults(self):
         network = _network()
-        stats = substitute_network(network, BASIC, n_jobs=2)
+        stats = substitute_network(network, PROC_BASIC, n_jobs=2)
         assert to_blif_str(network) == _serial_blif()
         assert stats.worker_faults == 0
         assert stats.shards_redispatched == 0
