@@ -58,6 +58,7 @@ FLOORS: Dict[str, float] = {
     "network": 92.0,   # measured 95.4
     "parallel": 91.0,  # measured 94.5
     "resilience": 90.0,  # measured 93.3
+    "sat": 90.0,       # hard acceptance floor for the SAT backend
     "scripts": 91.0,   # measured 95.2
     "sim": 91.0,       # measured 94.2
     "twolevel": 93.0,  # measured 96.1

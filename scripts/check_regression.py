@@ -14,12 +14,16 @@ same comparator as ``repro compare`` — intended for CI::
 Exit codes: ``0`` clean, ``1`` regression (deterministic counter
 drift, dropped metric, or wall time beyond the slack), ``2`` bad
 input.  Deterministic counters (``divide_calls``, ``accepted``,
-literal counts, and the speculation protocol's ``parallel.*``
+literal counts, the speculation protocol's ``parallel.*``
 counters — ``pairs_reused``, ``pairs_invalidated``,
 ``deltas_shipped``, ``delta_nodes``, … — which gate *exactly*: a
 drifted reuse or invalidation count means the deterministic commit
-protocol changed behaviour, not that the machine was slow) always
-gate; wall times only gate when
+protocol changed behaviour, not that the machine was slow, and the
+SAT backend's ``sat.*`` counters — ``solves``, ``conflicts``,
+``decisions``, ``propagations``, ``learned`` — the CDCL engine is
+randomness-free, so any drift means the CNF encoder or the search
+itself changed, never the machine) always gate; wall times only gate
+when
 ``--fail-on-regression PCT`` is given, because wall comparisons are
 only meaningful between runs on the same machine — CI asserts that by
 passing the flag.

@@ -146,6 +146,18 @@ def _optimize_main(argv: List[str]) -> int:
         ),
     )
     parser.add_argument(
+        "--verify-backend",
+        default=None,
+        choices=["auto", "bdd", "sat"],
+        help=(
+            "exact-equivalence backend for the final check and "
+            "--verify-commits spot checks: bdd builds output-cone "
+            "ROBDDs, sat solves a CNF miter with the CDCL engine, "
+            "auto (default) picks BDDs up to 16 inputs and SAT above "
+            "— verification choice never changes the optimized output"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="FILE.jsonl",
         help=(
@@ -185,7 +197,7 @@ def _optimize_main(argv: List[str]) -> int:
 
     from repro.network.blif import BlifParseError, read_blif, to_blif_str
     from repro.network.factor import network_literals
-    from repro.network.verify import networks_equivalent, simulate_equivalent
+    from repro.network.verify import exact_equivalent
     from repro.scripts.flows import SCRIPTS, run_method
 
     try:
@@ -226,6 +238,8 @@ def _optimize_main(argv: List[str]) -> int:
         overrides["deadline_seconds"] = args.deadline
     if args.verify_commits:
         overrides["verify_commits"] = True
+    if args.verify_backend is not None:
+        overrides["verify_backend"] = args.verify_backend
     if (
         overrides
         or args.trace
@@ -235,8 +249,8 @@ def _optimize_main(argv: List[str]) -> int:
     ) and args.method == "sis":
         parser.error(
             "--no-sim-filter/--sim-patterns/--jobs/--deadline/"
-            "--verify-commits/--trace/--profile/--profile-json/"
-            "--history do not apply to sis"
+            "--verify-commits/--verify-backend/--trace/--profile/"
+            "--profile-json/--history do not apply to sis"
         )
     tracer = None
     if args.trace or args.profile or args.profile_json:
@@ -265,13 +279,13 @@ def _optimize_main(argv: List[str]) -> int:
     if not args.no_verify:
         from repro.obs.tracer import as_tracer
 
+        backend = args.verify_backend or "auto"
         with as_tracer(tracer).span(
-            "verify", check="final-equivalence"
+            "verify", check="final-equivalence", backend=backend
         ) as verify_span:
-            if len(network.pis) <= 24:
-                ok = networks_equivalent(reference, network)
-            else:
-                ok = simulate_equivalent(reference, network, patterns=512)
+            ok = exact_equivalent(
+                reference, network, backend=backend, tracer=tracer
+            )
             verify_span.annotate(ok=ok)
         if not ok:
             print("ERROR: optimized network is NOT equivalent", file=sys.stderr)

@@ -71,6 +71,24 @@ class DivisionConfig:
     #: a belt-and-braces guard; the test suite uses BDDs instead.
     verify_with_simulation: bool = False
 
+    #: Exact-equivalence backend for commit spot-checks and final
+    #: verification: "bdd" builds ROBDDs of every PO cone (the
+    #: historical oracle, exact up to ~24 PIs then degrading to a wide
+    #: random screen), "sat" solves a CNF miter with the CDCL engine
+    #: (:mod:`repro.sat`), and "auto" picks BDDs up to
+    #: ``sat_pi_threshold`` inputs and SAT above — the threshold where
+    #: BDD cones start blowing up and exhaustive methods are out.
+    verify_backend: str = "auto"
+
+    #: Conflict budget per SAT solve; an exhausted search reports
+    #: ``complete=False`` and the caller falls back conservatively
+    #: (same contract as the D-alg backtrack budget).
+    sat_conflict_budget: int = 100_000
+
+    #: PI count above which ``verify_backend="auto"`` switches from
+    #: BDDs to the SAT miter.
+    sat_pi_threshold: int = 16
+
     #: Prune division candidates with bit-parallel simulation
     #: signatures (see :mod:`repro.sim`).  The filter is sound — it
     #: only skips (divisor, variant) attempts that provably return no
@@ -191,6 +209,14 @@ class DivisionConfig:
             raise ValueError("max_run_backtracks must be >= 0")
         if self.verify_full_every < 1:
             raise ValueError("verify_full_every must be >= 1")
+        if self.verify_backend not in ("auto", "bdd", "sat"):
+            raise ValueError(
+                "verify_backend must be 'auto', 'bdd' or 'sat'"
+            )
+        if self.sat_conflict_budget < 0:
+            raise ValueError("sat_conflict_budget must be >= 0")
+        if self.sat_pi_threshold < 0:
+            raise ValueError("sat_pi_threshold must be >= 0")
         if self.max_shard_retries < 0:
             raise ValueError("max_shard_retries must be >= 0")
         if self.pipeline_depth < 1:

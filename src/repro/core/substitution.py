@@ -108,6 +108,16 @@ class SubstitutionStats:
     commits_verified: int = 0
     commits_rolled_back: int = 0
     pairs_quarantined: int = 0
+    #: SAT-backend work done by the run's exact checks (the commit
+    #: ledger's full checks under ``verify_backend="sat"``/"auto").
+    #: Deterministic for a fixed (circuit, config, code) triple — the
+    #: CDCL engine has no randomness — so they regression-gate exactly
+    #: like ``divide_calls``.
+    sat_solves: int = 0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    sat_propagations: int = 0
+    sat_learned: int = 0
     #: Structured incident records (JSON-ready dicts) — one per
     #: rolled-back commit; surfaces through ``--stats-json``.
     incidents: List[Dict[str, object]] = dataclasses.field(
@@ -798,6 +808,11 @@ def substitute_network(
         stats.commits_rolled_back += ledger.rolled_back
         stats.pairs_quarantined += len(ledger.quarantined)
         stats.incidents.extend(ledger.incidents)
+        stats.sat_solves += ledger.sat_solves
+        stats.sat_conflicts += ledger.sat_conflicts
+        stats.sat_decisions += ledger.sat_decisions
+        stats.sat_propagations += ledger.sat_propagations
+        stats.sat_learned += ledger.sat_learned
     if budget is not None:
         stats.atpg_incomplete += (
             budget.atpg_incomplete - atpg_incomplete_before

@@ -1,12 +1,17 @@
 """Functional verification of networks.
 
-Two independent mechanisms:
+Three independent mechanisms:
 
 * :func:`simulate_equivalent` — fast bit-parallel random simulation;
   used inside optimization passes as a cheap sanity screen.
 * :func:`networks_equivalent` — exact equivalence by building ROBDDs of
   every primary-output cone over the primary inputs; used by the test
   suite as the oracle for every rewrite.
+* :func:`exact_equivalent` — the backend dispatcher: BDDs for small
+  input counts, the SAT miter (:mod:`repro.sat`) above
+  :data:`SAT_PI_THRESHOLD`, selectable through
+  ``DivisionConfig.verify_backend``.  This is what lifts the ~16-input
+  wall on ``--verify-commits`` spot checks and final verification.
 """
 
 from __future__ import annotations
@@ -73,6 +78,50 @@ def networks_equivalent(a: Network, b: Network) -> bool:
     bdds_a = network_output_bdds(a, pi_order, manager)
     bdds_b = network_output_bdds(b, pi_order, manager)
     return all(bdds_a[po] == bdds_b[po] for po in a.pos)
+
+
+#: PI count above which ``backend="auto"`` stops building BDD cones
+#: and hands the miter to the SAT engine instead.  Mirrors
+#: ``DivisionConfig.sat_pi_threshold``; callers with a config pass its
+#: value through.
+SAT_PI_THRESHOLD = 16
+
+
+def exact_equivalent(
+    a: Network,
+    b: Network,
+    backend: str = "auto",
+    sat_pi_threshold: int = SAT_PI_THRESHOLD,
+    conflict_budget: Optional[int] = None,
+    tracer=None,
+) -> bool:
+    """Exact combinational equivalence through the selected backend.
+
+    ``backend="bdd"`` forces :func:`networks_equivalent`;
+    ``backend="sat"`` forces the CNF miter; ``"auto"`` uses BDDs up to
+    *sat_pi_threshold* primary inputs (where cones are cheap and the
+    answer is instant) and SAT above.  A SAT solve that exhausts its
+    conflict budget (``complete=False``) falls back to a wide random
+    screen — the same degradation the pre-SAT code applied beyond 24
+    inputs — so this function always terminates with a verdict; only
+    an exhausted-budget path is probabilistic, and the span/counters
+    record when that happened.
+    """
+    if backend not in ("auto", "bdd", "sat"):
+        raise ValueError(f"unknown verify backend {backend!r}")
+    n_pis = len(set(a.pis) | set(b.pis))
+    if backend == "bdd" or (backend == "auto" and n_pis <= sat_pi_threshold):
+        return networks_equivalent(a, b)
+    from repro.sat.check import DEFAULT_CONFLICT_BUDGET, sat_equivalent
+
+    if conflict_budget is None:
+        conflict_budget = DEFAULT_CONFLICT_BUDGET
+    verdict = sat_equivalent(
+        a, b, conflict_budget=conflict_budget, tracer=tracer
+    )
+    if verdict.complete:
+        return bool(verdict.verdict)
+    return simulate_equivalent(a, b, patterns=2048)
 
 
 def simulate_equivalent(

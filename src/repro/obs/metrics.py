@@ -8,7 +8,7 @@ dataclass.  This module gives them one home: a
 :meth:`~MetricsRegistry.snapshot` is a single JSON-ready dict, and
 :func:`metrics_from_run` which absorbs a finished run's ledgers into
 namespaced metrics (``substitution.*``, ``parallel.*``,
-``resilience.*``, ``budget.*``) so every consumer — ``--stats-json``,
+``resilience.*``, ``sat.*``, ``budget.*``) so every consumer — ``--stats-json``,
 :func:`~repro.scripts.flows.run_method`, dashboards — reads the same
 shape regardless of which subsystems were active.
 
@@ -189,6 +189,17 @@ _RESILIENCE_COUNTERS = (
     "pairs_quarantined",
 )
 
+#: SubstitutionStats SAT-backend fields → sat.* counters (the CDCL
+#: engine behind ``verify_backend="sat"``/"auto"; see
+#: :mod:`repro.sat`).  ``data.get`` keeps pre-SAT snapshots loading.
+_SAT_COUNTERS = (
+    "sat_solves",
+    "sat_conflicts",
+    "sat_decisions",
+    "sat_propagations",
+    "sat_learned",
+)
+
 
 def metrics_from_run(stats) -> MetricsRegistry:
     """Absorb a :class:`SubstitutionStats` into a fresh registry.
@@ -203,6 +214,8 @@ def metrics_from_run(stats) -> MetricsRegistry:
         parallel.jobs               gauge
         resilience.<counter>        verified / rolled-back / quarantined
         resilience.incidents        counter (count of incident records)
+        sat.<counter>               solves / conflicts / decisions /
+                                    propagations / learned (CDCL backend)
         budget.*                    the BudgetReport fields, or absent
     """
     if dataclasses.is_dataclass(stats):
@@ -243,6 +256,9 @@ def metrics_from_run(stats) -> MetricsRegistry:
 
     for field in _RESILIENCE_COUNTERS:
         registry.counter(f"resilience.{field}").inc(int(data[field]))
+    for field in _SAT_COUNTERS:
+        name = field[len("sat_"):]
+        registry.counter(f"sat.{name}").inc(int(data.get(field, 0)))
     registry.counter("resilience.incidents").inc(
         len(data.get("incidents") or [])
     )

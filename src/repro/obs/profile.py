@@ -27,6 +27,7 @@ PROFILE_PHASES = (
     "pair",
     "divide",
     "atpg",
+    "sat_solve",
     "commit",
     "verify",
 )

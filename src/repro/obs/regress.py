@@ -55,6 +55,17 @@ DETERMINISTIC_COUNTERS = (
     "parallel.deltas_shipped",
     "parallel.delta_nodes",
     "parallel.pairs_stale_skipped",
+    # The CDCL engine behind verify_backend="sat"/"auto" has no
+    # randomness — decisions break ties on variable index, restarts
+    # are conflict-count driven — so its work counters are exact for
+    # a fixed (circuit, config, code) triple; drift means the encoder
+    # or the search changed behaviour.  Old baselines without these
+    # counters skip them (the predates-the-counter rule above).
+    "sat.solves",
+    "sat.conflicts",
+    "sat.decisions",
+    "sat.propagations",
+    "sat.learned",
 )
 
 #: Gauges under the same exact-equality contract (the paper's quality

@@ -55,6 +55,7 @@ SPAN_KINDS = frozenset(
         "atpg",       # one redundancy-removal loop (region or generic)
         "commit",     # apply + accept bookkeeping of one rewrite
         "verify",     # an equivalence check (per-commit or ledger)
+        "sat_solve",  # one CDCL solve (equivalence or fault miter)
         "worker_batch",  # one shard evaluated by a worker context
     }
 )

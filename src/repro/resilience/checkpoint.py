@@ -34,8 +34,11 @@ logger = logging.getLogger("repro.resilience")
 
 Pair = Tuple[str, str]
 
-#: PI count up to which the periodic full check builds exact BDDs;
-#: wider networks fall back to a high-pattern random screen.
+#: With ``verify_backend="bdd"``: PI count up to which the periodic
+#: full check builds exact BDDs; wider networks fall back to a
+#: high-pattern random screen.  The "auto"/"sat" backends stay exact
+#: at any width through the CNF miter instead (see
+#: :func:`~repro.network.verify.exact_equivalent`).
 _EXACT_PI_LIMIT = 24
 
 
@@ -61,6 +64,13 @@ class CommitLedger:
         #: Commits rolled back after a failed check.
         self.rolled_back = 0
         self._last_check = "none"
+        #: SAT-backend work done by this ledger's full checks
+        #: (absorbed into ``SubstitutionStats.sat_*`` at run end).
+        self.sat_solves = 0
+        self.sat_conflicts = 0
+        self.sat_decisions = 0
+        self.sat_propagations = 0
+        self.sat_learned = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -87,7 +97,35 @@ class CommitLedger:
         )
 
     def _full_check(self, network: Network) -> bool:
-        if len(network.pis) <= _EXACT_PI_LIMIT:
+        backend = getattr(self.config, "verify_backend", "auto")
+        n_pis = len(network.pis)
+        if backend == "sat" or (
+            backend == "auto"
+            and n_pis > getattr(self.config, "sat_pi_threshold", 16)
+        ):
+            from repro.sat.check import (
+                DEFAULT_CONFLICT_BUDGET,
+                sat_equivalent,
+            )
+
+            verdict = sat_equivalent(
+                self.reference,
+                network,
+                conflict_budget=getattr(
+                    self.config, "sat_conflict_budget",
+                    DEFAULT_CONFLICT_BUDGET,
+                ),
+            )
+            self.sat_solves += 1
+            self.sat_conflicts += verdict.conflicts
+            self.sat_decisions += verdict.decisions
+            self.sat_propagations += verdict.propagations
+            self.sat_learned += verdict.learned
+            if verdict.complete:
+                return bool(verdict.verdict)
+            # Exhausted conflict budget: degrade to the wide random
+            # screen rather than rolling back a commit on an unknown.
+        elif n_pis <= _EXACT_PI_LIMIT:
             return networks_equivalent(self.reference, network)
         return simulate_equivalent(self.reference, network, patterns=2048)
 

@@ -1,0 +1,41 @@
+"""SAT backend: Tseitin CNF encoding and a small CDCL solver.
+
+The exact-reasoning storey above the BDD and exhaustive-simulation
+oracles: equivalence checking and stuck-at untestability that scale
+past the ~16-input wall (see DESIGN.md §12).  Zero dependencies, like
+the rest of the repo.
+"""
+
+from repro.sat.cnf import (
+    Cnf,
+    CnfStats,
+    Miter,
+    build_miter,
+    encode_circuit,
+    encode_network,
+)
+from repro.sat.solver import CdclSolver, SolveResult, solve_cnf
+from repro.sat.check import (
+    DEFAULT_CONFLICT_BUDGET,
+    SatVerdict,
+    sat_equivalent,
+    sat_wire_redundant_exact,
+    sat_wire_untestable,
+)
+
+__all__ = [
+    "Cnf",
+    "CnfStats",
+    "Miter",
+    "build_miter",
+    "encode_circuit",
+    "encode_network",
+    "CdclSolver",
+    "SolveResult",
+    "solve_cnf",
+    "DEFAULT_CONFLICT_BUDGET",
+    "SatVerdict",
+    "sat_equivalent",
+    "sat_wire_redundant_exact",
+    "sat_wire_untestable",
+]

@@ -26,7 +26,7 @@ from repro.network.ops import eliminate, sweep
 from repro.network.simplify import simplify
 from repro.network.resub import resub
 from repro.network.extract import gcx, gkx
-from repro.network.verify import networks_equivalent, simulate_equivalent
+from repro.network.verify import exact_equivalent
 from repro.core.config import BASIC, EXTENDED, EXTENDED_GDC, DivisionConfig
 from repro.core.substitution import SubstitutionStats, substitute_network
 from repro.obs.metrics import run_snapshot
@@ -150,11 +150,12 @@ def run_method(
     return result
 
 
-def _check_equivalence(before: Network, after: Network) -> bool:
-    """BDD equivalence when feasible, random simulation otherwise."""
-    if len(before.pis) <= 24:
-        return networks_equivalent(before, after)
-    return simulate_equivalent(before, after, patterns=512)
+def _check_equivalence(
+    before: Network, after: Network, backend: str = "auto"
+) -> bool:
+    """Exact equivalence through the configured backend (BDDs for
+    small input counts, the SAT miter above the threshold)."""
+    return exact_equivalent(before, after, backend=backend)
 
 
 def run_script_table(
@@ -162,6 +163,7 @@ def run_script_table(
     script: str,
     methods: Optional[list] = None,
     verify: bool = True,
+    verify_backend: str = "auto",
 ) -> TableResult:
     """Reproduce one of Tables II–IV.
 
@@ -184,7 +186,9 @@ def run_script_table(
         for method in methods:
             working = prepared.copy(f"{name}:{method}")
             stats = run_method(working, method)
-            if verify and not _check_equivalence(prepared, working):
+            if verify and not _check_equivalence(
+                prepared, working, verify_backend
+            ):
                 raise AssertionError(
                     f"{method} broke equivalence on {name} (script {script})"
                 )
@@ -225,6 +229,7 @@ def run_script_algebraic_table(
     benchmarks: Dict[str, Network],
     methods: Optional[list] = None,
     verify: bool = True,
+    verify_backend: str = "auto",
 ) -> TableResult:
     """Reproduce Table V (full flow with resub swapped per method)."""
     if methods is None:
@@ -238,7 +243,9 @@ def run_script_algebraic_table(
             start = time.perf_counter()
             script_algebraic(working, METHODS[method])
             elapsed = time.perf_counter() - start
-            if verify and not _check_equivalence(network, working):
+            if verify and not _check_equivalence(
+                network, working, verify_backend
+            ):
                 raise AssertionError(
                     f"{method} broke equivalence on {name} "
                     "(script.algebraic)"

@@ -87,11 +87,13 @@ class TestDeterministic:
 
     def test_every_deterministic_metric_is_scoped(self):
         # Exact-equality gating only makes sense for namespaces that
-        # are deterministic by construction: the substitution ledger
-        # and the speculative-store/delta protocol (whose dispatch
-        # points are all reached by the serial greedy loop).
+        # are deterministic by construction: the substitution ledger,
+        # the speculative-store/delta protocol (whose dispatch points
+        # are all reached by the serial greedy loop), and the CDCL
+        # SAT engine (randomness-free: VSIDS ties break on variable
+        # index, restarts are purely conflict-counted).
         for name in DETERMINISTIC_COUNTERS:
-            assert name.startswith(("substitution.", "parallel."))
+            assert name.startswith(("substitution.", "parallel.", "sat."))
         for name in DETERMINISTIC_GAUGES:
             assert name.startswith("substitution.")
 
