@@ -59,6 +59,7 @@ FLOORS: Dict[str, float] = {
     "parallel": 91.0,  # measured 94.5
     "resilience": 90.0,  # measured 93.3
     "sat": 90.0,       # hard acceptance floor for the SAT backend
+    "resub": 90.0,     # hard acceptance floor for the simguided engine
     "scripts": 91.0,   # measured 95.2
     "sim": 91.0,       # measured 94.2
     "twolevel": 93.0,  # measured 96.1

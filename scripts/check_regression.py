@@ -22,7 +22,11 @@ protocol changed behaviour, not that the machine was slow, and the
 SAT backend's ``sat.*`` counters — ``solves``, ``conflicts``,
 ``decisions``, ``propagations``, ``learned`` — the CDCL engine is
 randomness-free, so any drift means the CNF encoder or the search
-itself changed, never the machine) always gate; wall times only gate
+itself changed, never the machine, and the simguided engine's
+``resub.*`` counters — ``targets``, ``candidates``, ``validated``,
+``accepted``, … — windowing, subset enumeration and exact validation
+are all seed-deterministic, so a drift means the resubstitution
+logic changed behaviour) always gate; wall times only gate
 when
 ``--fail-on-regression PCT`` is given, because wall comparisons are
 only meaningful between runs on the same machine — CI asserts that by

@@ -36,6 +36,7 @@ from repro.core import (
     BASIC,
     EXTENDED,
     EXTENDED_GDC,
+    SIMGUIDED,
     DivisionConfig,
     DivisionResult,
     boolean_divide,
@@ -60,6 +61,7 @@ __all__ = [
     "BASIC",
     "EXTENDED",
     "EXTENDED_GDC",
+    "SIMGUIDED",
     "DivisionConfig",
     "DivisionResult",
     "boolean_divide",

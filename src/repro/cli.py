@@ -15,6 +15,8 @@ Usage::
     python -m repro optimize design.blif --method ext -o out.blif
     python -m repro optimize bench:rnd2 --script A --method ext_gdc
     python -m repro optimize design.blif --jobs 4 --stats-json run.json
+    # simulation-guided resubstitution engine instead of division
+    python -m repro optimize design.blif --method simguided -o out.blif
 
     # analyze a --trace file: critical path / Chrome trace / flamegraph
     python -m repro trace report run.jsonl

@@ -11,7 +11,14 @@
 * :mod:`repro.core.config` — the knobs tying it together.
 """
 
-from repro.core.config import DivisionConfig, BASIC, EXTENDED, EXTENDED_GDC, ORACLE
+from repro.core.config import (
+    DivisionConfig,
+    BASIC,
+    EXTENDED,
+    EXTENDED_GDC,
+    ORACLE,
+    SIMGUIDED,
+)
 from repro.core.sos_pos import is_sos_of, is_pos_of, sos_split, pos_split
 from repro.core.division import DivisionResult, boolean_divide, divide_node_pair
 from repro.core.extended import (
@@ -33,6 +40,7 @@ __all__ = [
     "EXTENDED",
     "EXTENDED_GDC",
     "ORACLE",
+    "SIMGUIDED",
     "is_sos_of",
     "is_pos_of",
     "sos_split",

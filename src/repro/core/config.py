@@ -27,6 +27,17 @@ class DivisionConfig:
     #: decomposed around a voted core).
     mode: str = "basic"
 
+    #: Optimization engine: "division" runs the paper-faithful RAR
+    #: division/substitution passes; "simguided" runs the
+    #: simulation-guided resubstitution engine (:mod:`repro.resub`),
+    #: which *constructs* candidate replacement functions from the
+    #: bit-parallel signatures (truth-table windowing over small
+    #: divisor sets, ODC-aware) and validates the few survivors
+    #: exactly through ``verify_backend``.  Both engines share the
+    #: budget / ledger / tracing machinery and the equivalence
+    #: contract; they differ in how candidates are found.
+    method: str = "division"
+
     #: Extend implications through the whole circuit (global internal
     #: don't cares) instead of only the dividend/divisor regions.
     global_dc: bool = False
@@ -181,9 +192,42 @@ class DivisionConfig:
     #: shared memory is unavailable).
     share_signatures: bool = True
 
+    #: ``method="simguided"``: divisor candidates collected into each
+    #: target node's window (closest supports first; the truth-table
+    #: core enumerates subsets of this pool).
+    resub_window_size: int = 12
+
+    #: ``method="simguided"``: maximum divisors per resynthesized
+    #: replacement function (subset enumeration is size-ascending, so
+    #: the engine prefers the smallest support that works).
+    resub_max_divisors: int = 4
+
+    #: ``method="simguided"``: intersect the simulated care set with
+    #: the complement of the target's observability don't cares
+    #: (computed exactly with :class:`~repro.network.dontcares.
+    #: DontCareComputer` when the network is small enough).  SDCs need
+    #: no explicit handling — unreachable fanin combinations never
+    #: appear in simulation, so the sampled care set is SDC-free by
+    #: construction.
+    resub_use_dontcares: bool = True
+
+    #: ``method="simguided"``: PI count up to which the exact ODC
+    #: computation is attempted (the BDD-based computer is global and
+    #: rebuilt after every commit; beyond this it costs more than the
+    #: don't cares buy).
+    resub_odc_max_pis: int = 12
+
     def __post_init__(self):
         if self.mode not in ("basic", "extended"):
             raise ValueError("mode must be 'basic' or 'extended'")
+        if self.method not in ("division", "simguided"):
+            raise ValueError("method must be 'division' or 'simguided'")
+        if self.resub_window_size < 1:
+            raise ValueError("resub_window_size must be >= 1")
+        if not 1 <= self.resub_max_divisors <= 6:
+            raise ValueError("resub_max_divisors must be in 1..6")
+        if self.resub_odc_max_pis < 0:
+            raise ValueError("resub_odc_max_pis must be >= 0")
         if self.learn_depth < 0:
             raise ValueError("learn_depth must be >= 0")
         if self.sim_patterns < 1:
@@ -234,6 +278,14 @@ EXTENDED = DivisionConfig(mode="extended", learn_depth=1)
 
 #: Configuration 3: extended division with global don't cares.
 EXTENDED_GDC = DivisionConfig(mode="extended", global_dc=True, learn_depth=1)
+
+#: The simulation-guided resubstitution engine (:mod:`repro.resub`):
+#: candidate replacement functions are built directly from signatures
+#: and validated exactly, instead of being searched for with Boolean
+#: division.  A second, independent engine over the same substrate —
+#: its agreement with the division configurations is a standing
+#: correctness oracle (see tests/resub/).
+SIMGUIDED = DivisionConfig(method="simguided")
 
 #: Oracle upper bound: extended division where every failed
 #: implication test is retried against a complete-don't-care BDD

@@ -118,6 +118,26 @@ class SubstitutionStats:
     sat_decisions: int = 0
     sat_propagations: int = 0
     sat_learned: int = 0
+    #: Simulation-guided resubstitution (``method="simguided"``, see
+    #: :mod:`repro.resub`).  All deterministic — windowing, subset
+    #: enumeration and validation have no randomness — so they
+    #: regression-gate exactly, like ``divide_calls``.
+    #: Target nodes visited, and windows with at least one divisor.
+    resub_targets: int = 0
+    resub_windows: int = 0
+    #: Consistent candidate covers produced by the truth-table core
+    #: (subsets whose signatures admit *some* matching function).
+    resub_candidates: int = 0
+    #: Exact whole-network validations run on gain-positive candidates.
+    resub_validated: int = 0
+    #: Candidates rejected on a SAT don't-know (exhausted conflict
+    #: budget) — unproven candidates are never committed.
+    resub_rejected_unknown: int = 0
+    #: Candidates that validated and committed.
+    resub_accepted: int = 0
+    #: Literals/cubes dropped from candidate covers by the
+    #: excitation-only ATPG redundancy cleanup.
+    resub_wires_cleaned: int = 0
     #: Structured incident records (JSON-ready dicts) — one per
     #: rolled-back commit; surfaces through ``--stats-json``.
     incidents: List[Dict[str, object]] = dataclasses.field(
@@ -703,6 +723,20 @@ def substitute_network(
     way — tracing never influences control flow.
     """
     tracer = as_tracer(tracer)
+    if config.method == "simguided":
+        # The simulation-guided engine (same outer contract, opposite
+        # candidate-finding strategy).  Imported lazily — repro.resub
+        # imports this module for the stats/undo machinery.
+        from repro.resub.engine import simguided_substitute
+
+        return simguided_substitute(
+            network,
+            config,
+            reference=reference,
+            stats=stats,
+            budget=budget,
+            tracer=tracer,
+        )
     if n_jobs is not None and n_jobs != config.n_jobs:
         config = dataclasses.replace(config, n_jobs=n_jobs)
     if stats is None:

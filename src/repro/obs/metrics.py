@@ -200,6 +200,19 @@ _SAT_COUNTERS = (
     "sat_learned",
 )
 
+#: SubstitutionStats simguided-resubstitution fields → resub.*
+#: counters (the :mod:`repro.resub` engine).  ``data.get`` keeps
+#: pre-resub snapshots loading.
+_RESUB_COUNTERS = (
+    "resub_targets",
+    "resub_windows",
+    "resub_candidates",
+    "resub_validated",
+    "resub_rejected_unknown",
+    "resub_accepted",
+    "resub_wires_cleaned",
+)
+
 
 def metrics_from_run(stats) -> MetricsRegistry:
     """Absorb a :class:`SubstitutionStats` into a fresh registry.
@@ -216,6 +229,8 @@ def metrics_from_run(stats) -> MetricsRegistry:
         resilience.incidents        counter (count of incident records)
         sat.<counter>               solves / conflicts / decisions /
                                     propagations / learned (CDCL backend)
+        resub.<counter>             simguided-resubstitution work
+                                    (targets / candidates / validations)
         budget.*                    the BudgetReport fields, or absent
     """
     if dataclasses.is_dataclass(stats):
@@ -259,6 +274,9 @@ def metrics_from_run(stats) -> MetricsRegistry:
     for field in _SAT_COUNTERS:
         name = field[len("sat_"):]
         registry.counter(f"sat.{name}").inc(int(data.get(field, 0)))
+    for field in _RESUB_COUNTERS:
+        name = field[len("resub_"):]
+        registry.counter(f"resub.{name}").inc(int(data.get(field, 0)))
     registry.counter("resilience.incidents").inc(
         len(data.get("incidents") or [])
     )

@@ -30,6 +30,9 @@ PROFILE_PHASES = (
     "sat_solve",
     "commit",
     "verify",
+    "resub_window",
+    "resub_resyn",
+    "resub_validate",
 )
 
 

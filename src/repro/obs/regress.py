@@ -66,6 +66,19 @@ DETERMINISTIC_COUNTERS = (
     "sat.decisions",
     "sat.propagations",
     "sat.learned",
+    # The simguided resubstitution engine (repro.resub) is serial and
+    # seed-deterministic end to end: windows are ranked by structure,
+    # subsets enumerate in a fixed order, the care set comes from the
+    # seeded signatures plus exact ODCs, and validation is BDD/CDCL.
+    # Any drift here means the windowing, resynthesis, or validation
+    # logic changed behaviour.
+    "resub.targets",
+    "resub.windows",
+    "resub.candidates",
+    "resub.validated",
+    "resub.rejected_unknown",
+    "resub.accepted",
+    "resub.wires_cleaned",
 )
 
 #: Gauges under the same exact-equality contract (the paper's quality

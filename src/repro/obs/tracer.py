@@ -57,6 +57,9 @@ SPAN_KINDS = frozenset(
         "verify",     # an equivalence check (per-commit or ledger)
         "sat_solve",  # one CDCL solve (equivalence or fault miter)
         "worker_batch",  # one shard evaluated by a worker context
+        "resub_window",    # simguided: divisor window for one target
+        "resub_resyn",     # simguided: subset enumeration + resynthesis
+        "resub_validate",  # simguided: exact check of one candidate
     }
 )
 

@@ -27,7 +27,13 @@ from repro.network.simplify import simplify
 from repro.network.resub import resub
 from repro.network.extract import gcx, gkx
 from repro.network.verify import exact_equivalent
-from repro.core.config import BASIC, EXTENDED, EXTENDED_GDC, DivisionConfig
+from repro.core.config import (
+    BASIC,
+    EXTENDED,
+    EXTENDED_GDC,
+    SIMGUIDED,
+    DivisionConfig,
+)
 from repro.core.substitution import SubstitutionStats, substitute_network
 from repro.obs.metrics import run_snapshot
 from repro.obs.tracer import as_tracer
@@ -79,6 +85,7 @@ METHODS: Dict[str, Callable[[Network], object]] = {
     "basic": _rar_method(BASIC),
     "ext": _rar_method(EXTENDED),
     "ext_gdc": _rar_method(EXTENDED_GDC),
+    "simguided": _rar_method(SIMGUIDED),
 }
 
 #: Base configuration per method name (``None`` for SIS resub, which
@@ -89,6 +96,7 @@ METHOD_CONFIGS: Dict[str, Optional[DivisionConfig]] = {
     "basic": BASIC,
     "ext": EXTENDED,
     "ext_gdc": EXTENDED_GDC,
+    "simguided": SIMGUIDED,
 }
 
 

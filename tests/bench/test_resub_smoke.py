@@ -1,0 +1,67 @@
+"""Smoke benchmark for the simguided engine (``-m bench_smoke``).
+
+Runs in the tier-1 suite too (it is fast); the marker lets CI pick
+just the performance smokes.  Checks the ISSUE acceptance criteria in
+miniature: both engines' outputs exactly equivalent to the input, the
+simguided engine making zero ``boolean_divide`` calls, and the JSON
+report landing on disk with the cross-engine verdict.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.resubbench import (
+    DEFAULT_CIRCUITS,
+    DEFAULT_RESULT_PATH,
+    compare_engines,
+    run_resub_benchmark,
+)
+from repro.bench.suite import build_benchmark
+
+
+@pytest.mark.bench_smoke
+def test_engines_agree_on_rnd3():
+    row = compare_engines(build_benchmark("rnd3"))
+    assert row["division_equivalent"]
+    assert row["simguided_equivalent"]
+    # Simguided never calls boolean_divide: everything it saves shows
+    # up here, everything it spends in the resub.* counters.
+    assert row["simguided"]["divide_calls"] == 0
+    assert row["divide_calls_saved"] == row["division"]["divide_calls"]
+    assert row["simguided"]["resub_accepted"] > 0
+    assert (
+        row["simguided"]["literals_after"]
+        <= row["simguided"]["literals_before"]
+    )
+
+
+@pytest.mark.bench_smoke
+def test_benchmark_report_written(tmp_path):
+    out = tmp_path / "BENCH_resub.json"
+    history = tmp_path / "history.jsonl"
+    report = run_resub_benchmark(
+        ["rnd1", "rnd3"], output_path=out, history_path=history
+    )
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["all_equivalent"] is True
+    assert on_disk["circuits"][0]["circuit"] == "rnd1"
+    assert report["all_equivalent"] is True
+    # One history record per circuit, tagged with the bench name.
+    records = [
+        json.loads(line) for line in history.read_text().splitlines()
+    ]
+    assert [r["circuit"] for r in records] == ["rnd1", "rnd3"]
+    assert all(r["bench"] == "resubbench" for r in records)
+    assert all(
+        r["metrics"]["counters"]["resub.targets"] > 0 for r in records
+    )
+
+
+@pytest.mark.bench_smoke
+def test_default_result_path_and_circuits():
+    assert DEFAULT_RESULT_PATH.name == "BENCH_resub.json"
+    assert DEFAULT_RESULT_PATH.parent.name == "results"
+    assert DEFAULT_RESULT_PATH.parent.parent.name == "benchmarks"
+    assert "rnd8" in DEFAULT_CIRCUITS

@@ -1,8 +1,10 @@
-"""Differential suite over the three related-work division baselines.
+"""Differential suite over the substitution engines and baselines.
 
-Runs espresso-with-don't-cares, BDD-based, and coalgebraic division
+Runs the paper engine (``method="division"``), the simulation-guided
+engine (``method="simguided"``), and the three related-work baselines
+— espresso-with-don't-cares, BDD-based, and coalgebraic division —
 side by side on a fixed population of seeded random networks and pins
-the properties all three must share:
+the properties all five must share:
 
 * substitution never breaks equivalence (checked with BDDs);
 * substitution never increases the factored-literal count (each accept
@@ -21,6 +23,8 @@ import pytest
 from repro.baselines.bdd_div import bdd_substitution
 from repro.baselines.coalgebraic import coalgebraic_substitution
 from repro.baselines.espresso_div import espresso_substitution
+from repro.core.config import BASIC, SIMGUIDED
+from repro.core.substitution import substitute_network
 from repro.network.factor import network_literals
 from repro.network.verify import networks_equivalent
 
@@ -29,10 +33,21 @@ from tests.conftest import random_network
 #: 24 deterministic networks (>= 20 per the coverage checklist).
 SEEDS = list(range(1000, 1024))
 
+
+def _division_substitution(network) -> int:
+    return substitute_network(network, BASIC).accepted
+
+
+def _simguided_substitution(network) -> int:
+    return substitute_network(network, SIMGUIDED).accepted
+
+
 BASELINES = {
     "espresso": espresso_substitution,
     "bdd": bdd_substitution,
     "coalgebraic": coalgebraic_substitution,
+    "division": _division_substitution,
+    "simguided": _simguided_substitution,
 }
 
 
@@ -62,7 +77,7 @@ def test_baseline_preserves_equivalence_and_never_regresses(name, seed):
 
 @pytest.mark.parametrize("seed", SEEDS[:8])
 def test_baselines_agree_on_final_equivalence_class(seed):
-    """All three baselines' outputs are equivalent to each other."""
+    """All five engines' outputs are equivalent to each other."""
     outputs = []
     for name in sorted(BASELINES):
         working = _population(seed)

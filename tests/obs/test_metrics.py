@@ -170,8 +170,10 @@ def test_metrics_from_run_covers_every_counter_field():
     mapped = set()
     for name in list(snapshot["counters"]) + list(snapshot["gauges"]):
         mapped.add(name.split(".", 1)[1])
-        # parallel.* / sat.* strip their prefixes; map back for the check.
+        # parallel.* / sat.* / resub.* strip their prefixes; map back
+        # for the check.
         mapped.add("parallel_" + name.split(".", 1)[1])
         mapped.add("sat_" + name.split(".", 1)[1])
+        mapped.add("resub_" + name.split(".", 1)[1])
     missing = {f for f in numbered if f not in mapped}
     assert not missing, f"stats fields not exported: {sorted(missing)}"

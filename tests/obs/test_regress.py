@@ -89,13 +89,29 @@ class TestDeterministic:
         # Exact-equality gating only makes sense for namespaces that
         # are deterministic by construction: the substitution ledger,
         # the speculative-store/delta protocol (whose dispatch points
-        # are all reached by the serial greedy loop), and the CDCL
-        # SAT engine (randomness-free: VSIDS ties break on variable
-        # index, restarts are purely conflict-counted).
+        # are all reached by the serial greedy loop), the CDCL SAT
+        # engine (randomness-free: VSIDS ties break on variable
+        # index, restarts are purely conflict-counted), and the
+        # simguided resubstitution engine (serial, structural window
+        # ranking, seeded signatures).
         for name in DETERMINISTIC_COUNTERS:
-            assert name.startswith(("substitution.", "parallel.", "sat."))
+            assert name.startswith(
+                ("substitution.", "parallel.", "sat.", "resub.")
+            )
         for name in DETERMINISTIC_GAUGES:
             assert name.startswith("substitution.")
+
+    def test_resub_counters_are_gated(self):
+        # Satellite of the simguided-resubstitution PR: every resub.*
+        # counter exported by metrics_from_run is part of the
+        # exact-equality contract — `repro compare` gates the new
+        # engine exactly like divide_calls.
+        from repro.obs.metrics import _RESUB_COUNTERS
+
+        for field in _RESUB_COUNTERS:
+            assert (
+                "resub." + field[len("resub_"):] in DETERMINISTIC_COUNTERS
+            )
 
     def test_parallel_ledger_counters_are_gated(self):
         # Satellite of the persistent-pool PR: reuse/invalidation and

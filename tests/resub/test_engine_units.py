@@ -1,0 +1,340 @@
+"""Unit tests for the simguided engine's moving parts.
+
+The differential suite (`test_resub_vs_division.py`) checks the
+end-to-end contract; these tests pin the pieces individually —
+windowing legality, the ATPG cover cleaner's removal branches, the
+reject-on-unknown and quarantine paths (forced via monkeypatching,
+since a correct engine never hits them naturally), budget clean stops,
+and config validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro.core.config import SIMGUIDED, DivisionConfig
+from repro.core.substitution import substitute_network
+from repro.network.dontcares import DontCareComputer
+from repro.network.network import Network
+from repro.network.verify import networks_equivalent
+from repro.resilience.budget import RunBudget
+from repro.resilience.checkpoint import CommitLedger
+from repro.resub import engine as resub_engine
+from repro.resub.engine import (
+    _care_mask,
+    _clean_cover,
+    _divisor_label,
+    simguided_substitute,
+)
+from repro.resub.window import build_window, pi_supports
+from repro.sim.signature import SignatureSimulator
+from repro.twolevel.cover import Cover
+
+
+# ----------------------------------------------------------------------
+# Fixture networks
+# ----------------------------------------------------------------------
+def _implied_divisors() -> Network:
+    """d1 = a·b implies d2 = a, so covers over (d1, d2) carry
+    structural redundancy the ATPG cleaner can prove away."""
+    net = Network("cleaner_fixture")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.parse_node("d1", "a b", ["a", "b"])
+    net.parse_node("d2", "a", ["a"])
+    net.parse_node("f", "d1 + d2", ["d1", "d2"])
+    net.add_po("f")
+    return net
+
+
+def _accepting_network() -> Network:
+    """f = a·b·c with d = a·b in scope: simguided deterministically
+    rewrites f to d·c (3 literals -> 2)."""
+    net = Network("accepting")
+    for pi in ("a", "b", "c"):
+        net.add_pi(pi)
+    net.parse_node("d", "a b", ["a", "b"])
+    net.parse_node("f", "a b c", ["a", "b", "c"])
+    net.parse_node("out", "d + f", ["d", "f"])
+    net.add_po("out")
+    return net
+
+
+# ----------------------------------------------------------------------
+# _CoverCleaner via _clean_cover
+# ----------------------------------------------------------------------
+class TestCoverCleaner:
+    def test_implied_literal_is_removed(self):
+        # Cube d1·d2: asserting d1=1 forces a=b=1, hence d2=1, so the
+        # d2 literal's stuck-at-1 fault is untestable -> removable.
+        net = _implied_divisors()
+        cover = Cover.parse("d1 d2", ["d1", "d2"])
+        cleaned, removed = _clean_cover(
+            net, "f", ("d1", "d2"), cover, SIMGUIDED, None
+        )
+        assert removed == 1
+        assert cleaned.num_cubes() == 1
+        assert list(cleaned.cubes[0].literals()) == [(0, True)]  # just d1
+
+    def test_contained_cube_is_removed(self):
+        # d1 + d2 with d1 => d2: exciting cube {d1} while holding the
+        # {d2} cube at 0 is contradictory -> the {d1} cube is dropped.
+        net = _implied_divisors()
+        cover = Cover.parse("d1 + d2", ["d1", "d2"])
+        cleaned, removed = _clean_cover(
+            net, "f", ("d1", "d2"), cover, SIMGUIDED, None
+        )
+        assert removed == 1
+        assert cleaned.num_cubes() == 1
+        assert list(cleaned.cubes[0].literals()) == [(1, True)]  # just d2
+
+    def test_cleaning_preserves_function_on_reachable_minterms(self):
+        # Soundness spot-check: on every reachable divisor valuation,
+        # the cleaned cover equals the original.
+        net = _implied_divisors()
+        for text in ("d1 d2", "d1 + d2"):
+            cover = Cover.parse(text, ["d1", "d2"])
+            cleaned, _ = _clean_cover(
+                net, "f", ("d1", "d2"), cover, SIMGUIDED, None
+            )
+            for a in (0, 1):
+                for b in (0, 1):
+                    d1, d2 = a & b, a
+                    minterm = d1 | (d2 << 1)
+                    assert cover.evaluate(minterm) == cleaned.evaluate(
+                        minterm
+                    )
+
+    def test_pi_only_divisors_skip_cleaning(self):
+        # Free PIs admit no implications; the cleaner must not even
+        # build a circuit (removed == 0, cover unchanged).
+        net = _implied_divisors()
+        cover = Cover.parse("a b", ["a", "b"])
+        cleaned, removed = _clean_cover(
+            net, "f", ("a", "b"), cover, SIMGUIDED, None
+        )
+        assert removed == 0
+        assert cleaned is cover
+
+    def test_zero_cover_and_oversize_region_skip_cleaning(self):
+        net = _implied_divisors()
+        zero = Cover.zero(2)
+        assert _clean_cover(
+            net, "f", ("d1", "d2"), zero, SIMGUIDED, None
+        ) == (zero, 0)
+        small = dataclasses.replace(SIMGUIDED, max_region_cubes=1)
+        cover = Cover.parse("d1 + d2", ["d1", "d2"])
+        cleaned, removed = _clean_cover(
+            net, "f", ("d1", "d2"), cover, small, None
+        )
+        assert removed == 0
+        assert cleaned is cover
+
+
+# ----------------------------------------------------------------------
+# Windowing
+# ----------------------------------------------------------------------
+class TestWindow:
+    def _net(self) -> Network:
+        net = Network("window_fixture")
+        for pi in ("a", "b", "c"):
+            net.add_pi(pi)
+        net.parse_node("d1", "a b", ["a", "b"])
+        net.parse_node("f", "a + b", ["a", "b"])
+        net.parse_node("t", "f c", ["f", "c"])  # in TFO(f)
+        net.add_po("t")
+        net.add_po("d1")
+        return net
+
+    def test_target_and_tfo_are_excluded(self):
+        window = build_window(self._net(), "f", SIMGUIDED)
+        assert "f" not in window.divisors
+        assert "t" not in window.divisors
+
+    def test_disjoint_support_non_fanins_are_excluded(self):
+        # c shares no PI support with f and is not a fanin: useless as
+        # a divisor under simulation (its signature is uncorrelated).
+        window = build_window(self._net(), "f", SIMGUIDED)
+        assert "c" not in window.divisors
+
+    def test_fanins_rank_first_then_overlap(self):
+        window = build_window(self._net(), "f", SIMGUIDED)
+        assert window.target == "f"
+        assert list(window.divisors[:2]) == ["a", "b"]
+        assert "d1" in window.divisors
+
+    def test_window_size_truncates(self):
+        tight = dataclasses.replace(SIMGUIDED, resub_window_size=2)
+        window = build_window(self._net(), "f", tight)
+        assert list(window.divisors) == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Engine paths that a correct run never exercises naturally
+# ----------------------------------------------------------------------
+class TestForcedPaths:
+    def test_accepting_fixture_accepts(self):
+        # Pre-condition for the forced-path tests below: the fixture
+        # really does commit a rewrite under normal conditions.
+        net = _accepting_network()
+        reference = _accepting_network()
+        stats = substitute_network(net, SIMGUIDED)
+        assert stats.resub_accepted >= 1
+        assert stats.literals_after < stats.literals_before
+        assert networks_equivalent(reference, net)
+
+    def test_unknown_verdict_rejects_candidate(self, monkeypatch):
+        # A SAT don't-know must keep the old node: force every exact
+        # validation to report None and check nothing commits.
+        monkeypatch.setattr(
+            resub_engine,
+            "_validate_exact",
+            lambda reference, network, config, stats, tracer: None,
+        )
+        net = _accepting_network()
+        reference = _accepting_network()
+        stats = substitute_network(net, SIMGUIDED)
+        assert stats.resub_accepted == 0
+        assert stats.resub_rejected_unknown >= 1
+        assert stats.resub_validated == stats.resub_rejected_unknown
+        assert stats.literals_after == stats.literals_before
+        assert networks_equivalent(reference, net)
+
+    def test_failed_ledger_verification_quarantines(self, monkeypatch):
+        # With verify_commits on, a failing ledger check must roll the
+        # commit back and bar the (target, divisor-set) pair.
+        monkeypatch.setattr(
+            CommitLedger, "verify_commit", lambda self, n, f, d: False
+        )
+        config = dataclasses.replace(SIMGUIDED, verify_commits=True)
+        net = _accepting_network()
+        reference = _accepting_network()
+        stats = substitute_network(net, config)
+        assert stats.resub_accepted == 0
+        assert stats.commits_rolled_back >= 1
+        assert stats.pairs_quarantined >= 1
+        assert any(
+            incident["kind"] == "rolled_back_commit"
+            and incident["divisor"].startswith("resub(")
+            for incident in stats.incidents
+        )
+        assert networks_equivalent(reference, net)
+
+    def test_quarantined_subset_is_skipped(self):
+        # The quarantine label must match what the enumeration checks,
+        # or a barred subset would be retried.  Normally f commits via
+        # the empty subset (its ODCs make it constant-0 on the care
+        # set); with that subset quarantined up-front, the engine must
+        # fall through to a different (still equivalent) subset.
+        import types
+
+        from repro.core.substitution import SubstitutionStats
+        from repro.obs.tracer import as_tracer
+        from repro.resub.engine import _resub_pass
+
+        config = dataclasses.replace(SIMGUIDED, verify_commits=True)
+        baseline = _accepting_network()
+        base_sim = SignatureSimulator(
+            baseline, patterns=config.sim_patterns, seed=config.sim_seed
+        )
+        _resub_pass(
+            baseline, baseline.copy("ref0"), SIMGUIDED,
+            SubstitutionStats(), base_sim, None, None, as_tracer(None),
+        )
+        assert baseline.nodes["f"].fanins == []
+        baseline_label = "resub()"
+
+        net = _accepting_network()
+        reference = net.copy("reference")
+        sim = SignatureSimulator(
+            net, patterns=config.sim_patterns, seed=config.sim_seed
+        )
+        ledger = CommitLedger(
+            reference, config, types.SimpleNamespace(sim=sim)
+        )
+        ledger.quarantined.add(("f", baseline_label))
+        stats = SubstitutionStats()
+        _resub_pass(
+            net, reference, config, stats, sim, None, ledger,
+            as_tracer(None),
+        )
+        assert stats.resub_accepted >= 1
+        assert net.nodes["f"].fanins != []
+        assert networks_equivalent(reference, net)
+
+    def test_budget_deadline_stops_cleanly(self):
+        ticks = itertools.count()
+        budget = RunBudget(
+            deadline_seconds=0.5, clock=lambda: float(next(ticks))
+        )
+        net = _accepting_network()
+        reference = _accepting_network()
+        stats = simguided_substitute(net, SIMGUIDED, budget=budget)
+        assert stats.budget_report is not None
+        assert stats.budget_report.stopped
+        assert stats.budget_report.reason == "deadline"
+        assert stats.resub_accepted == 0
+        assert networks_equivalent(reference, net)
+
+
+# ----------------------------------------------------------------------
+# Care mask / observability don't-cares
+# ----------------------------------------------------------------------
+class TestCareMask:
+    def test_no_computer_cares_about_everything(self):
+        net = _accepting_network()
+        sim = SignatureSimulator(net, patterns=64, seed=3)
+        assert _care_mask(sim, net.nodes["f"], None) == sim.mask
+
+    def test_care_mask_is_subset_of_simulated_patterns(self):
+        net = _accepting_network()
+        sim = SignatureSimulator(net, patterns=64, seed=3)
+        dc = DontCareComputer(net, max_pis=12)
+        for node in net.internal_nodes():
+            care = _care_mask(sim, node, dc)
+            assert care & ~sim.mask == 0
+
+    def test_dontcares_do_not_break_equivalence(self):
+        for use_dc in (False, True):
+            config = dataclasses.replace(
+                SIMGUIDED, resub_use_dontcares=use_dc
+            )
+            net = _accepting_network()
+            reference = _accepting_network()
+            stats = substitute_network(net, config)
+            assert networks_equivalent(reference, net)
+            assert stats.resub_accepted >= 1
+
+
+# ----------------------------------------------------------------------
+# Small pieces
+# ----------------------------------------------------------------------
+def test_divisor_label_is_stable():
+    assert _divisor_label(("x", "y")) == "resub(x,y)"
+    assert _divisor_label(()) == "resub()"
+
+
+def test_pi_supports_matches_transitive_reachability():
+    net = _accepting_network()
+    supports = pi_supports(net)
+    assert supports["d"] == {"a", "b"}
+    assert supports["f"] == {"a", "b", "c"}
+    assert supports["a"] == {"a"}
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"method": "bogus"},
+        {"resub_window_size": 0},
+        {"resub_max_divisors": 0},
+        {"resub_max_divisors": 7},
+        {"resub_odc_max_pis": -1},
+    ],
+)
+def test_config_validation_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        DivisionConfig(**kwargs)
