@@ -15,6 +15,19 @@ The report also records the raw disabled/enabled wall times (for
 eyeballing) and asserts output parity between the two runs, which is
 the other half of the "pure observer" contract.
 
+A second arm bounds the *live* telemetry path the same way: the
+per-event cost of everything ``--live`` adds on top of tracing —
+``TelemetryBus.publish`` fanning out to a bounded subscription and a
+:class:`~repro.obs.live.LiveProgress` fold — is microbenchmarked by
+:func:`bus_event_cost` and multiplied by the span count, giving
+``live_overhead_bound`` (gated at :data:`LIVE_OVERHEAD_BOUND`).  The
+streaming JSONL sink is *not* part of that bound: it writes the same
+``json.dumps(event, sort_keys=True)`` bytes the write-at-end export
+always paid, just at span-close time instead of run end; its measured
+per-event cost is recorded informationally
+(``streaming_event_cost_ns``) so a serialization regression stays
+visible.
+
 **Measurement bias:** a single disabled-then-enabled pass charges all
 process warm-up (allocator growth, lazy imports, cache population) to
 whichever arm runs first — an early revision recorded
@@ -57,6 +70,11 @@ DEFAULT_RESULT_PATH = (
 #: The acceptance bound: disabled tracing must cost < 2% wall.
 OVERHEAD_BOUND = 0.02
 
+#: The live-telemetry bound: publishing every span through the
+#: enabled bus (fan-out to subscribers + the progress-line fold) must
+#: also cost < 2% of the disabled run's wall time.
+LIVE_OVERHEAD_BOUND = 0.02
+
 #: A/B repeats per circuit (order alternates every repeat).
 DEFAULT_REPEATS = 3
 
@@ -76,6 +94,69 @@ def null_span_cost(iterations: int = 200_000) -> float:
         timer.timeit(iterations) / iterations for _ in range(5)
     )
     return samples[len(samples) // 2]
+
+
+_SAMPLE_EVENT = {
+    "v": 1,
+    "kind": "pair",
+    "id": 1234,
+    "parent": 7,
+    "proc": "main",
+    "start": 0.123456,
+    "end": 0.234567,
+    "dur": 0.111111,
+    "cpu": 0.1,
+    "attrs": {"fanin": "a", "divisor": "b", "pruned": False},
+}
+
+
+def _median_per_call(sink, iterations: int) -> float:
+    timer = timeit.Timer(
+        "sink(event)", globals={"sink": sink, "event": _SAMPLE_EVENT}
+    )
+    samples = sorted(
+        timer.timeit(iterations) / iterations for _ in range(5)
+    )
+    return samples[len(samples) // 2]
+
+
+def bus_event_cost(iterations: int = 20_000) -> float:
+    """Seconds per event through the enabled ``--live`` bus path.
+
+    Exactly what ``--live`` adds per recorded span on top of tracing:
+    ``TelemetryBus.publish`` fanning out to one bounded subscription
+    and a rate-limited :class:`~repro.obs.live.LiveProgress` fold
+    (writing to a sink stream).  Median of 5 repeats.
+    """
+    import io
+
+    from repro.obs.live import LiveProgress
+    from repro.obs.stream import TelemetryBus
+
+    bus = TelemetryBus()
+    bus.subscribe()
+    bus.attach(LiveProgress(stream=io.StringIO()).on_event)
+    cost = _median_per_call(bus.publish, iterations)
+    bus.close()
+    return cost
+
+
+def streaming_event_cost(iterations: int = 20_000) -> float:
+    """Seconds per event through the streaming JSONL sink.
+
+    Informational (not gated): the serialization work is the same the
+    write-at-end export always did — streaming only moves it to
+    span-close time and adds a per-line flush.
+    """
+    import tempfile
+
+    from repro.obs.stream import StreamingJsonlSink
+
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".jsonl", delete=True
+    ) as handle:
+        with StreamingJsonlSink(handle.name) as file_sink:
+            return _median_per_call(file_sink, iterations)
 
 
 def _timed_run(
@@ -137,18 +218,25 @@ def measure_circuit(
     disabled_wall = min(disabled_walls)
     enabled_wall = min(enabled_walls)
     span_cost = null_span_cost()
+    live_cost = bus_event_cost()
     spans = len(tracer.events)
     bound = (spans * span_cost) / disabled_wall if disabled_wall else 0.0
+    live_bound = (
+        (spans * live_cost) / disabled_wall if disabled_wall else 0.0
+    )
     row = {
         "circuit": name,
         "spans": spans,
         "repeats": repeats,
         "null_span_cost_ns": span_cost * 1e9,
+        "bus_event_cost_ns": live_cost * 1e9,
+        "streaming_event_cost_ns": streaming_event_cost() * 1e9,
         "disabled_wall_seconds": disabled_wall,
         "enabled_wall_seconds": enabled_wall,
         "disabled_wall_samples": disabled_walls,
         "enabled_wall_samples": enabled_walls,
         "overhead_bound": bound,
+        "live_overhead_bound": live_bound,
         "output_identical": outputs_identical,
     }
     return row, stats
@@ -187,9 +275,13 @@ def run_obs_overhead_benchmark(
     report = {
         "benchmark": "obs_overhead",
         "bound": OVERHEAD_BOUND,
+        "live_bound": LIVE_OVERHEAD_BOUND,
         "machine": {"cpu_count": os.cpu_count()},
         "circuits": rows,
         "max_overhead_bound": max(r["overhead_bound"] for r in rows),
+        "max_live_overhead_bound": max(
+            r["live_overhead_bound"] for r in rows
+        ),
         "all_outputs_identical": all(r["output_identical"] for r in rows),
     }
     path = pathlib.Path(result_path or DEFAULT_RESULT_PATH)

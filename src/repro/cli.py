@@ -23,6 +23,10 @@ Usage::
     python -m repro trace chrome run.jsonl -o run.chrome.json
     python -m repro trace flame run.jsonl -o run.folded
 
+    # live telemetry: progress line, resource sampling, trace tailing
+    python -m repro optimize design.blif --live --trace run.jsonl
+    python -m repro tail run.jsonl       # follow a streaming trace
+
     # regression-gate two runs (stats-json reports or history ledgers)
     python -m repro compare base.json new.json --fail-on-regression 20
     python -m repro compare benchmarks/results/history.jsonl new.json
@@ -195,6 +199,47 @@ def _optimize_main(argv: List[str]) -> int:
             "ledger; see benchmarks/results/history.jsonl"
         ),
     )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "render a live progress line on stderr (pass/pair/divide "
+            "counters, literal estimate, pair throughput, RSS) driven "
+            "by the span stream; never changes the optimized output"
+        ),
+    )
+    parser.add_argument(
+        "--sample-resources",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "emit resource_sample telemetry (RSS, CPU split, GC, "
+            "/dev/shm usage) every SECONDS into the trace stream "
+            "(needs --trace, --live or --profile*; default: 0.5 with "
+            "--live, else off; 0 disables)"
+        ),
+    )
+    parser.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with -j >1: flag a worker shard silent past SECONDS as a "
+            "stall and contain it through the retry ladder instead of "
+            "waiting forever (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-dir",
+        metavar="DIR",
+        help=(
+            "with -j >1: workers overwrite a per-pid heartbeat JSON "
+            "file here at every batch boundary (crash-durable "
+            "liveness; default: off)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.network.blif import BlifParseError, read_blif, to_blif_str
@@ -242,56 +287,118 @@ def _optimize_main(argv: List[str]) -> int:
         overrides["verify_commits"] = True
     if args.verify_backend is not None:
         overrides["verify_backend"] = args.verify_backend
+    if args.stall_timeout is not None:
+        if args.stall_timeout <= 0:
+            parser.error("--stall-timeout must be > 0")
+        overrides["stall_timeout_seconds"] = args.stall_timeout
+    if args.heartbeat_dir is not None:
+        overrides["heartbeat_dir"] = args.heartbeat_dir
+    if args.sample_resources is not None and args.sample_resources < 0:
+        parser.error("--sample-resources must be >= 0")
     if (
         overrides
         or args.trace
         or args.profile
         or args.profile_json
         or args.history
+        or args.live
+        or args.sample_resources
     ) and args.method == "sis":
         parser.error(
             "--no-sim-filter/--sim-patterns/--jobs/--deadline/"
             "--verify-commits/--verify-backend/--trace/--profile/"
-            "--profile-json/--history do not apply to sis"
+            "--profile-json/--history/--live/--sample-resources/"
+            "--stall-timeout/--heartbeat-dir do not apply to sis"
         )
     tracer = None
-    if args.trace or args.profile or args.profile_json:
+    trace_sink = None
+    bus = None
+    live_view = None
+    sampler = None
+    if args.trace or args.profile or args.profile_json or args.live:
         from repro.obs.tracer import Tracer
 
         tracer = Tracer()
-    stats = run_method(
-        network, args.method, config_overrides=overrides, tracer=tracer
-    )
-    substats = stats.get("stats") or {}
-    budget_report = substats.get("budget_report")
-    if budget_report and budget_report.get("stopped"):
-        print(
-            f"# budget stop: {budget_report['reason']} after "
-            f"{budget_report['elapsed_seconds']:.2f}s "
-            f"({budget_report['divide_calls']} divide calls)",
-            file=sys.stderr,
-        )
-    if substats.get("commits_rolled_back"):
-        print(
-            f"# {substats['commits_rolled_back']} commit(s) rolled "
-            f"back and quarantined (see --stats-json incidents)",
-            file=sys.stderr,
-        )
+        sinks = []
+        if args.trace:
+            # Streaming sink: spans hit the disk as they close, so a
+            # crash or kill -9 mid-run still leaves a parseable trace
+            # (same bytes as the old write-at-end export for runs
+            # that complete).
+            from repro.obs.stream import StreamingJsonlSink
 
-    if not args.no_verify:
-        from repro.obs.tracer import as_tracer
+            trace_sink = StreamingJsonlSink(args.trace)
+            sinks.append(trace_sink)
+        if args.live:
+            from repro.obs.live import LiveProgress
+            from repro.obs.stream import TelemetryBus
 
-        backend = args.verify_backend or "auto"
-        with as_tracer(tracer).span(
-            "verify", check="final-equivalence", backend=backend
-        ) as verify_span:
-            ok = exact_equivalent(
-                reference, network, backend=backend, tracer=tracer
+            bus = TelemetryBus()
+            live_view = LiveProgress(initial_literals=initial)
+            bus.attach(live_view.on_event)
+            sinks.append(bus.publish)
+        if sinks:
+            from repro.obs.stream import fanout
+
+            tracer.set_sink(fanout(*sinks))
+    sample_period = args.sample_resources
+    if sample_period is None and args.live:
+        sample_period = 0.5
+    if tracer is not None and sample_period:
+        from repro.obs.resource import ResourceSampler
+
+        sampler = ResourceSampler(tracer, period=sample_period)
+        sampler.start()
+    try:
+        stats = run_method(
+            network, args.method, config_overrides=overrides, tracer=tracer
+        )
+        substats = stats.get("stats") or {}
+        budget_report = substats.get("budget_report")
+        if budget_report and budget_report.get("stopped"):
+            print(
+                f"# budget stop: {budget_report['reason']} after "
+                f"{budget_report['elapsed_seconds']:.2f}s "
+                f"({budget_report['divide_calls']} divide calls)",
+                file=sys.stderr,
             )
-            verify_span.annotate(ok=ok)
-        if not ok:
-            print("ERROR: optimized network is NOT equivalent", file=sys.stderr)
-            return 1
+        if substats.get("commits_rolled_back"):
+            print(
+                f"# {substats['commits_rolled_back']} commit(s) rolled "
+                f"back and quarantined (see --stats-json incidents)",
+                file=sys.stderr,
+            )
+
+        if not args.no_verify:
+            from repro.obs.tracer import as_tracer
+
+            backend = args.verify_backend or "auto"
+            with as_tracer(tracer).span(
+                "verify", check="final-equivalence", backend=backend
+            ) as verify_span:
+                ok = exact_equivalent(
+                    reference, network, backend=backend, tracer=tracer
+                )
+                verify_span.annotate(ok=ok)
+            if not ok:
+                print(
+                    "ERROR: optimized network is NOT equivalent",
+                    file=sys.stderr,
+                )
+                return 1
+    finally:
+        # Telemetry teardown in dependency order: stop the sampler
+        # thread (its closing sample still flows through the sink),
+        # release the live TTY line, then flush + close the trace
+        # file so every recorded span is durable.
+        if sampler is not None:
+            sampler.stop()
+        if live_view is not None:
+            live_view.close()
+        if bus is not None:
+            bus.close()
+        if trace_sink is not None:
+            trace_sink.close()
 
     blif = to_blif_str(network)
     if args.output:
@@ -301,7 +408,7 @@ def _optimize_main(argv: List[str]) -> int:
         sys.stdout.write(blif)
     if tracer is not None:
         if args.trace:
-            tracer.export_jsonl(args.trace)
+            # The streaming sink already wrote (and closed) the file.
             print(
                 f"# trace: {len(tracer.events)} spans -> {args.trace}",
                 file=sys.stderr,
@@ -406,13 +513,19 @@ def _trace_main(argv: List[str]) -> int:
 
     from repro.obs.tracer import read_jsonl
 
+    def _warn(message: str) -> None:
+        print(f"warning: {message}", file=sys.stderr)
+
     try:
-        events = read_jsonl(args.file)
+        events = read_jsonl(args.file, tolerant=True, on_warning=_warn)
     except OSError as exc:
         print(f"error: cannot read {args.file!r}: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"error: {args.file}: empty trace file", file=sys.stderr)
         return 2
 
     if args.verb == "report":
@@ -437,6 +550,83 @@ def _trace_main(argv: List[str]) -> int:
             f"# {args.verb}: {len(events)} spans -> {args.output}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _tail_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro tail",
+        description=(
+            "Follow a streaming --trace JSONL file in real time: "
+            "prints a line per completed pass, stall warnings, and a "
+            "live counter footer, until the run span arrives (or EOF "
+            "with --no-follow)."
+        ),
+    )
+    parser.add_argument("file", help="trace file being written by --trace")
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="poll interval while waiting for new lines (default: 0.2)",
+    )
+    parser.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="replay what is on disk and exit instead of following",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "give up after SECONDS without new data (default: follow "
+            "forever)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.poll <= 0:
+        parser.error("--poll must be > 0")
+    if args.max_idle is not None and args.max_idle <= 0:
+        parser.error("--max-idle must be > 0")
+
+    import os
+
+    from repro.obs.live import LiveProgress, TailReporter, follow_trace
+
+    if not os.path.exists(args.file):
+        print(
+            f"error: cannot read {args.file!r}: no such file",
+            file=sys.stderr,
+        )
+        return 2
+
+    def _warn(message: str) -> None:
+        print(f"warning: {message}", file=sys.stderr)
+
+    progress = LiveProgress()
+    reporter = TailReporter(progress)
+    try:
+        delivered = follow_trace(
+            args.file,
+            reporter.on_event,
+            follow=not args.no_follow,
+            poll_seconds=args.poll,
+            max_idle_seconds=args.max_idle,
+            on_warning=_warn,
+        )
+    except OSError as exc:
+        print(f"error: cannot read {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        progress.close()
+        return 0
+    progress.close()
+    if delivered == 0 and args.no_follow:
+        print(f"error: {args.file}: empty trace file", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -523,6 +713,8 @@ def main(argv: List[str] = None) -> int:
         return _optimize_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "tail":
+        return _tail_main(argv[1:])
     if argv and argv[0] == "compare":
         return _compare_main(argv[1:])
     parser = argparse.ArgumentParser(

@@ -217,6 +217,21 @@ class DivisionConfig:
     #: don't cares buy).
     resub_odc_max_pis: int = 12
 
+    #: Stall watchdog: a speculative shard silent for more than this
+    #: many seconds is flagged (a ``stall`` trace event + the
+    #: ``health.stalls`` counter) and fed into the containment ladder
+    #: (redispatch → fresh pool → in-process fallback) instead of
+    #: being waited on forever.  ``None`` (the default) disables the
+    #: watchdog — results and timing are then exactly the pre-telemetry
+    #: behavior.
+    stall_timeout_seconds: Optional[float] = None
+
+    #: Directory for per-worker heartbeat files (one small JSON file
+    #: per worker pid, overwritten at every batch boundary) — a
+    #: crash-durable liveness channel an operator can inspect even
+    #: after the run dies.  ``None`` (the default) writes nothing.
+    heartbeat_dir: Optional[str] = None
+
     def __post_init__(self):
         if self.mode not in ("basic", "extended"):
             raise ValueError("mode must be 'basic' or 'extended'")
@@ -253,6 +268,11 @@ class DivisionConfig:
             raise ValueError("max_run_backtracks must be >= 0")
         if self.verify_full_every < 1:
             raise ValueError("verify_full_every must be >= 1")
+        if (
+            self.stall_timeout_seconds is not None
+            and self.stall_timeout_seconds <= 0
+        ):
+            raise ValueError("stall_timeout_seconds must be > 0")
         if self.verify_backend not in ("auto", "bdd", "sat"):
             raise ValueError(
                 "verify_backend must be 'auto', 'bdd' or 'sat'"

@@ -30,6 +30,21 @@ Built on top of those, the analytics storey (PR 5):
   compare`` and ``scripts/check_regression.py`` (exact equality for
   deterministic counters, slack-thresholded wall times).
 
+And the live-telemetry storey (PR 10):
+
+* :mod:`repro.obs.stream` — the per-event layer: ``TelemetryBus``
+  pub/sub fan-out, a crash-durable streaming JSONL sink (what
+  ``--trace`` writes through now), and tolerant trace reading for
+  truncated tails;
+* :mod:`repro.obs.resource` — a background sampler emitting
+  ``resource_sample`` instants (RSS / peak RSS, CPU split, GC
+  collections and pause wall, ``/dev/shm`` signature usage);
+* :mod:`repro.obs.health` — worker heartbeat files and the
+  executor-side stall watchdog behind ``--heartbeat-dir`` /
+  ``--stall-timeout``;
+* :mod:`repro.obs.live` — the ``--live`` progress line and the
+  ``repro tail`` follower.
+
 The tracer is threaded through :func:`~repro.core.substitution.
 substitute_network`, the division engine, the ATPG loops and the
 parallel stack — worker processes record spans locally and ship them
@@ -92,6 +107,28 @@ from repro.obs.regress import (
     format_comparison,
     load_comparable,
 )
+from repro.obs.stream import (
+    StreamingJsonlSink,
+    Subscription,
+    TelemetryBus,
+    fanout,
+)
+from repro.obs.resource import (
+    GcPauseMonitor,
+    ResourceSampler,
+    sample_attrs,
+)
+from repro.obs.health import (
+    StallWatchdog,
+    read_heartbeats,
+    stale_workers,
+    write_heartbeat,
+)
+from repro.obs.live import (
+    LiveProgress,
+    TailReporter,
+    follow_trace,
+)
 
 __all__ = [
     "NULL_TRACER",
@@ -134,4 +171,18 @@ __all__ = [
     "compare_snapshots",
     "format_comparison",
     "load_comparable",
+    "StreamingJsonlSink",
+    "Subscription",
+    "TelemetryBus",
+    "fanout",
+    "GcPauseMonitor",
+    "ResourceSampler",
+    "sample_attrs",
+    "StallWatchdog",
+    "read_heartbeats",
+    "stale_workers",
+    "write_heartbeat",
+    "LiveProgress",
+    "TailReporter",
+    "follow_trace",
 ]

@@ -1,0 +1,277 @@
+"""Real-time front end: the ``--live`` progress line and ``repro tail``.
+
+:class:`LiveProgress` is a push-mode bus subscriber that folds the
+span stream into one repainted TTY status line: pass / pair / divide
+counters, an estimated literal count (initial literals minus committed
+gains), pair throughput with an ETA when the pass total is known
+(parallel runs announce it in the ``speculate`` span), RSS from
+``resource_sample`` events, and a stall flag.  It writes to stderr so
+piped BLIF output stays clean, rate-limits repaints, and takes a lock
+because resource samples arrive from the sampler thread.
+
+:func:`follow_trace` implements ``repro tail``: incremental reads of a
+(possibly still growing) JSONL trace, tolerant of the torn final line
+a live writer leaves mid-append, feeding each parsed event to a
+callback until the root ``run`` span closes, the writer goes quiet, or
+the caller asked for a single pass.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.obs.tracer import validate_trace_event
+
+
+def _format_bytes(count: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if count < 1024.0 or unit == "GB":
+            return f"{count:.0f}{unit}" if unit == "B" else f"{count:.1f}{unit}"
+        count /= 1024.0
+    return f"{count:.1f}GB"
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+class LiveProgress:
+    """Fold trace events into a single repainted progress line."""
+
+    def __init__(
+        self,
+        stream=None,
+        clock: Callable[[], float] = time.monotonic,
+        min_interval: float = 0.1,
+        initial_literals: Optional[int] = None,
+        width: int = 110,
+    ):
+        self.stream = sys.stderr if stream is None else stream
+        self.initial_literals = initial_literals
+        self.passes = 0
+        self.pairs = 0
+        self.divides = 0
+        self.commits = 0
+        self.gain = 0
+        self.stalls = 0
+        self.heartbeats = 0
+        self.rss_bytes = 0
+        self.total_pairs_this_pass: Optional[int] = None
+        self._clock = clock
+        self._min_interval = min_interval
+        self._width = width
+        self._t0: Optional[float] = None
+        self._last_render = 0.0
+        self._rendered = False
+        self._lock = threading.Lock()
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # Event folding
+    # ------------------------------------------------------------------
+    def on_event(self, event: dict) -> None:
+        with self._lock:
+            if self._t0 is None:
+                self._t0 = self._clock()
+            kind = event.get("kind")
+            attrs = event.get("attrs") or {}
+            if kind == "pair":
+                self.pairs += 1
+            elif kind == "divide":
+                self.divides += 1
+            elif kind == "commit":
+                self.commits += 1
+                gain = attrs.get("gain")
+                if isinstance(gain, (int, float)) and attrs.get(
+                    "accepted", True
+                ):
+                    self.gain += int(gain)
+            elif kind == "pass":
+                self.passes += 1
+                self.total_pairs_this_pass = None
+            elif kind == "speculate":
+                pairs = attrs.get("pairs")
+                if isinstance(pairs, int):
+                    self.total_pairs_this_pass = pairs
+            elif kind == "heartbeat":
+                self.heartbeats += 1
+            elif kind == "stall":
+                self.stalls += 1
+            elif kind == "resource_sample":
+                rss = attrs.get("rss_bytes")
+                if isinstance(rss, (int, float)) and rss > 0:
+                    self.rss_bytes = int(rss)
+            elif kind == "run":
+                self.finished = True
+            self._render()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _line(self) -> str:
+        elapsed = 0.0
+        if self._t0 is not None:
+            elapsed = max(0.0, self._clock() - self._t0)
+        rate = self.pairs / elapsed if elapsed > 0 else 0.0
+        parts = [
+            f"pass {self.passes}",
+            f"pairs {self.pairs}" + (f" ({rate:.0f}/s)" if rate else ""),
+            f"divide {self.divides}",
+            f"commits {self.commits}",
+        ]
+        if self.initial_literals is not None:
+            parts.append(f"lits ~{self.initial_literals - self.gain}")
+        if self.total_pairs_this_pass and rate > 0:
+            remaining = max(0, self.total_pairs_this_pass - self.pairs)
+            parts.append(f"eta {_format_eta(remaining / rate)}")
+        if self.rss_bytes:
+            parts.append(f"rss {_format_bytes(self.rss_bytes)}")
+        if self.heartbeats:
+            parts.append(f"hb {self.heartbeats}")
+        if self.stalls:
+            parts.append(f"STALLS {self.stalls}")
+        return " · ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last_render < self._min_interval:
+            return
+        self._last_render = now
+        line = self._line()[: self._width]
+        try:
+            self.stream.write("\r" + line.ljust(self._width))
+            self.stream.flush()
+        except (OSError, ValueError):
+            return
+        self._rendered = True
+
+    def close(self) -> None:
+        """Final repaint plus the newline that releases the TTY line."""
+        with self._lock:
+            self._render(force=True)
+            if self._rendered:
+                try:
+                    self.stream.write("\n")
+                    self.stream.flush()
+                except (OSError, ValueError):
+                    pass
+
+
+def follow_trace(
+    path: str,
+    on_event: Callable[[dict], None],
+    follow: bool = True,
+    poll_seconds: float = 0.2,
+    max_idle_seconds: Optional[float] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    on_warning: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Stream a (growing) JSONL trace file into *on_event*.
+
+    Returns the number of events delivered.  Stops when the root
+    ``run`` span closes (the writer is done), at EOF when *follow* is
+    false, or after *max_idle_seconds* without new bytes.  A torn or
+    invalid line is only tolerated while it is the current tail —
+    if the writer later appends past it, it was corruption and is
+    reported through *on_warning* then skipped.
+    """
+    delivered = 0
+    buffer = ""
+    idle_since: Optional[float] = None
+    with open(path) as handle:
+        while True:
+            chunk = handle.read()
+            if chunk:
+                idle_since = None
+                buffer += chunk
+                *complete, buffer = buffer.split("\n")
+                for line in complete:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                        validate_trace_event(event)
+                    except (json.JSONDecodeError, ValueError) as exc:
+                        if on_warning is not None:
+                            on_warning(f"skipping bad line: {exc}")
+                        continue
+                    delivered += 1
+                    on_event(event)
+                    if event.get("kind") == "run":
+                        return delivered
+            else:
+                if not follow:
+                    break
+                now = clock()
+                if idle_since is None:
+                    idle_since = now
+                elif (
+                    max_idle_seconds is not None
+                    and now - idle_since > max_idle_seconds
+                ):
+                    break
+                sleep(poll_seconds)
+    # Torn tail at final EOF: the crashed-writer end state.
+    tail = buffer.strip()
+    if tail:
+        try:
+            event = json.loads(tail)
+            validate_trace_event(event)
+        except (json.JSONDecodeError, ValueError):
+            if on_warning is not None:
+                on_warning("dropping truncated trailing line")
+        else:
+            delivered += 1
+            on_event(event)
+    return delivered
+
+
+class TailReporter:
+    """Per-event line printer for ``repro tail`` (on top of the bar).
+
+    Prints one summary line per closed ``pass`` span and per ``stall``
+    event — the coarse-grained milestones worth scrolling — while
+    :class:`LiveProgress` repaints the fine-grained counters.
+    """
+
+    def __init__(self, progress: LiveProgress, stream=None):
+        self.progress = progress
+        self.stream = sys.stderr if stream is None else stream
+        self.events_seen = 0
+
+    def _println(self, text: str) -> None:
+        try:
+            self.stream.write("\r" + text.ljust(self.progress._width) + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+
+    def on_event(self, event: dict) -> None:
+        self.events_seen += 1
+        kind = event.get("kind")
+        attrs = event.get("attrs") or {}
+        if kind == "pass":
+            self._println(
+                f"pass {attrs.get('index', '?')}: "
+                f"accepted {attrs.get('accepted', '?')} "
+                f"({event.get('dur', 0.0):.2f}s)"
+            )
+        elif kind == "stall":
+            self._println(
+                f"stall: shard {attrs.get('shard', '?')} silent "
+                f"{attrs.get('silent_seconds', 0.0):.1f}s"
+            )
+        elif kind == "run":
+            self._println(
+                f"run finished: circuit {attrs.get('circuit', '?')}, "
+                f"{attrs.get('accepted', '?')} accepted, "
+                f"{event.get('dur', 0.0):.2f}s"
+            )
+        self.progress.on_event(event)

@@ -213,6 +213,17 @@ _RESUB_COUNTERS = (
     "resub_wires_cleaned",
 )
 
+#: SubstitutionStats liveness fields → health.* counters (worker
+#: heartbeats and watchdog-flagged stalls; see :mod:`repro.obs.
+#: health`).  Timing-dependent by nature, so these are **never**
+#: listed in ``DETERMINISTIC_COUNTERS`` — ``repro compare`` must not
+#: gate them exactly.  ``data.get`` keeps pre-telemetry snapshots
+#: loading.
+_HEALTH_COUNTERS = (
+    "heartbeats_recorded",
+    "stalls_detected",
+)
+
 
 def metrics_from_run(stats) -> MetricsRegistry:
     """Absorb a :class:`SubstitutionStats` into a fresh registry.
@@ -231,6 +242,8 @@ def metrics_from_run(stats) -> MetricsRegistry:
                                     propagations / learned (CDCL backend)
         resub.<counter>             simguided-resubstitution work
                                     (targets / candidates / validations)
+        health.<counter>            worker heartbeats / watchdog stalls
+        process.*                   gauges: peak RSS, GC collections
         budget.*                    the BudgetReport fields, or absent
     """
     if dataclasses.is_dataclass(stats):
@@ -279,6 +292,17 @@ def metrics_from_run(stats) -> MetricsRegistry:
         registry.counter(f"resub.{name}").inc(int(data.get(field, 0)))
     registry.counter("resilience.incidents").inc(
         len(data.get("incidents") or [])
+    )
+    for field in _HEALTH_COUNTERS:
+        registry.counter(f"health.{field}").inc(int(data.get(field, 0)))
+    # Process resource observations captured at end of run; gauges
+    # (high-water marks, not additive work), slack-gated by
+    # ``repro compare`` like wall clocks.
+    registry.gauge("process.peak_rss_bytes").set(
+        int(data.get("peak_rss_bytes", 0))
+    )
+    registry.gauge("process.gc_collections").set(
+        int(data.get("gc_collections", 0))
     )
 
     report = data.get("budget_report")

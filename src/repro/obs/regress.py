@@ -88,6 +88,17 @@ DETERMINISTIC_GAUGES = (
     "substitution.literals_after",
 )
 
+#: Process-resource gauges: machine- and timing-dependent like wall
+#: clocks, so they get the same slack treatment — gated only when the
+#: caller passes ``--fail-on-regression PCT``, with a regression
+#: meaning the *new* value grew past the slack (more peak RSS, more GC
+#: churn).  Never exact-gated: allocator behavior and GC scheduling
+#: legitimately vary run to run.
+RESOURCE_GAUGES = (
+    "process.peak_rss_bytes",
+    "process.gc_collections",
+)
+
 #: For reporting direction: metrics where a *larger* new value is the
 #: bad direction.  (Everything deterministic fails on any drift; this
 #: only labels the report.)
@@ -306,6 +317,20 @@ def compare_snapshots(
                     new_summary.get("total"),
                 )
             )
+        for metric in RESOURCE_GAUGES:
+            base_value = base["gauges"].get(metric)
+            new_value = new["gauges"].get(metric)
+            if (
+                isinstance(base_value, (int, float))
+                and isinstance(new_value, (int, float))
+                and base_value > 0
+            ):
+                # base == 0 means the base machine could not read the
+                # resource at all — nothing meaningful to gate.
+                walls.append(
+                    (metric, "resource", float(base_value),
+                     float(new_value))
+                )
         for metric, kind, base_value, new_value in walls:
             if base_value is None or new_value is None:
                 continue
@@ -327,6 +352,13 @@ def compare_snapshots(
             elif new_value < base_value:
                 report.time_improvements.append(delta)
     return report
+
+
+def _fmt_slack(delta: Delta, value: float) -> str:
+    """Seconds for wall/timing rows, a bare count for resource rows."""
+    if delta.kind == "resource":
+        return f"{value:.0f}"
+    return f"{value:.4f}s"
 
 
 def format_comparison(
@@ -354,18 +386,19 @@ def format_comparison(
     if report.time_slack_pct is not None:
         if report.time_regressions:
             lines.append(
-                f"wall-time regressions (> {report.time_slack_pct:.0f}% "
-                "slack):"
+                f"wall-time/resource regressions "
+                f"(> {report.time_slack_pct:.0f}% slack):"
             )
             for delta in report.time_regressions:
                 lines.append(
-                    f"  {delta.metric}: {delta.base:.4f}s -> "
-                    f"{delta.new:.4f}s [{delta.note}]"
+                    f"  {delta.metric}: {_fmt_slack(delta, delta.base)} -> "
+                    f"{_fmt_slack(delta, delta.new)} [{delta.note}]"
                 )
         for delta in report.time_improvements:
             lines.append(
-                f"  improved: {delta.metric}: {delta.base:.4f}s -> "
-                f"{delta.new:.4f}s [{delta.note}]"
+                f"  improved: {delta.metric}: "
+                f"{_fmt_slack(delta, delta.base)} -> "
+                f"{_fmt_slack(delta, delta.new)} [{delta.note}]"
             )
     lines.append("PASS" if report.ok else "FAIL")
     return "\n".join(lines)

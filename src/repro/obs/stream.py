@@ -1,0 +1,185 @@
+"""Live telemetry plumbing: the event bus and the streaming sink.
+
+PR 4 made every span a JSON-ready dict, but the trace only left the
+process in one ``export_jsonl`` call after a successful run — a crash
+or ``kill -9`` lost everything.  This module turns the per-event sink
+hook on :class:`~repro.obs.tracer.Tracer` into live infrastructure:
+
+* :class:`TelemetryBus` — a tiny in-process pub/sub fanout.  Pull
+  subscribers get a bounded queue (:class:`Subscription`) that drops
+  the *oldest* events under backpressure and counts what it dropped;
+  push subscribers (:meth:`TelemetryBus.attach`) are called inline.
+  The bus is thread-safe because the resource sampler publishes from
+  a background thread.
+* :class:`StreamingJsonlSink` — a crash-durable JSONL writer that
+  appends each event the moment it closes, with a configurable flush
+  cadence (default: every line).  For a run that completes, the file
+  is byte-identical to what ``Tracer.export_jsonl`` would have
+  written, because both serialize ``json.dumps(event,
+  sort_keys=True)`` per line in recording order.
+* :func:`fanout` — compose several sinks into one tracer hook.
+
+None of this runs unless explicitly constructed: disabled-telemetry
+runs keep the NULL_TRACER fast path and stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Callable, List, Optional
+
+
+class Subscription:
+    """A bounded event queue handed out by :meth:`TelemetryBus.subscribe`.
+
+    Holds at most *maxlen* events; when full, the oldest event is
+    dropped and :attr:`dropped` incremented — a slow reader can lag
+    but can never stall the optimizer or grow memory without bound.
+    """
+
+    def __init__(self, maxlen: int = 4096):
+        if maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self.maxlen = maxlen
+        self.dropped = 0
+        self._events: deque = deque()
+        self._lock = threading.Lock()
+
+    def push(self, event: dict) -> None:
+        with self._lock:
+            if len(self._events) >= self.maxlen:
+                self._events.popleft()
+                self.dropped += 1
+            self._events.append(event)
+
+    def drain(self) -> List[dict]:
+        """Return and clear everything queued since the last drain."""
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class TelemetryBus:
+    """In-process pub/sub fanout for trace events.
+
+    ``bus.publish`` is itself a valid tracer sink
+    (``Tracer(sink=bus.publish)``), so the bus can sit directly behind
+    the span stream.  Publishing after :meth:`close` is a silent no-op
+    so late worker drains during shutdown never raise.
+    """
+
+    def __init__(self):
+        self._subscriptions: List[Subscription] = []
+        self._callbacks: List[Callable[[dict], None]] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self.published = 0
+
+    def subscribe(self, maxlen: int = 4096) -> Subscription:
+        """Register and return a bounded pull-mode queue."""
+        subscription = Subscription(maxlen=maxlen)
+        with self._lock:
+            self._subscriptions.append(subscription)
+        return subscription
+
+    def attach(self, callback: Callable[[dict], None]) -> None:
+        """Register a push-mode subscriber invoked inline per event."""
+        with self._lock:
+            self._callbacks.append(callback)
+
+    def publish(self, event: dict) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            subscriptions = list(self._subscriptions)
+            callbacks = list(self._callbacks)
+            self.published += 1
+        for subscription in subscriptions:
+            subscription.push(event)
+        for callback in callbacks:
+            callback(event)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+
+class StreamingJsonlSink:
+    """Crash-durable JSONL trace writer; a tracer sink.
+
+    Opens *path* immediately and appends one ``json.dumps(event,
+    sort_keys=True)`` line per event — the same bytes, in the same
+    order, that ``export_jsonl`` would emit at end of run.  Flushes
+    every *flush_every* events (default 1) so a ``kill -9`` loses at
+    most the spans still open plus any unflushed tail; with the
+    default cadence, every span closed before the kill is on disk.
+    """
+
+    def __init__(self, path: str, flush_every: int = 1):
+        if flush_every <= 0:
+            raise ValueError(f"flush_every must be positive: {flush_every}")
+        self.path = path
+        self.flush_every = flush_every
+        self.events_written = 0
+        self._lock = threading.Lock()
+        self._handle: Optional[object] = open(path, "w")
+
+    def __call__(self, event: dict) -> None:
+        with self._lock:
+            handle = self._handle
+            if handle is None:
+                return
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+            self.events_written += 1
+            if self.events_written % self.flush_every == 0:
+                handle.flush()
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            handle = self._handle
+            self._handle = None
+        if handle is not None:
+            handle.flush()
+            handle.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._handle is None
+
+    def __enter__(self) -> "StreamingJsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def fanout(*sinks: Callable[[dict], None]) -> Callable[[dict], None]:
+    """Compose sinks into one; each event goes to every sink in order."""
+    if len(sinks) == 1:
+        return sinks[0]
+
+    def _fan(event: dict) -> None:
+        for sink in sinks:
+            sink(event)
+
+    return _fan

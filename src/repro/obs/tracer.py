@@ -60,6 +60,13 @@ SPAN_KINDS = frozenset(
         "resub_window",    # simguided: divisor window for one target
         "resub_resyn",     # simguided: subset enumeration + resynthesis
         "resub_validate",  # simguided: exact check of one candidate
+        "shm_publish",   # engine: signature bitmap published to /dev/shm
+        "delta_apply",   # worker: catch-up replay of commit deltas
+        "delta_ship",    # engine: cumulative delta handed to a shard
+        # Live-telemetry instants (zero-duration point events).
+        "resource_sample",  # RSS / CPU / GC / shm usage snapshot
+        "heartbeat",        # worker liveness mark at a batch boundary
+        "stall",            # watchdog: shard silent past the threshold
     }
 )
 
@@ -99,6 +106,12 @@ class NullTracer:
 
     def span(self, kind: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
+
+    def instant(self, kind: str, **attrs) -> None:
+        pass
+
+    def set_sink(self, sink) -> None:
+        pass
 
     def drain(self) -> List[dict]:
         return []
@@ -159,7 +172,7 @@ class Span:
             # budget stop) is still a closed interval; mark it so
             # profiles can tell truncated phases apart.
             self.attrs.setdefault("aborted", exc_type.__name__)
-        tracer.events.append(
+        tracer._emit(
             {
                 "v": TRACE_SCHEMA_VERSION,
                 "kind": self.kind,
@@ -183,10 +196,16 @@ class Tracer:
     :func:`time.perf_counter` / :func:`time.process_time`).  *proc*
     labels every event this tracer records; worker processes use
     ``worker-<pid>`` so merged traces stay attributable.
+
+    *sink*, when set, is called with every event dict the moment it is
+    recorded (span close, :meth:`instant`, or :meth:`absorb`) — the
+    hook live streaming and the telemetry bus hang off.  A sink must
+    never affect the run: the first exception it raises detaches it
+    (recorded in :attr:`sink_error`) and recording continues.
     """
 
     __slots__ = ("events", "proc", "_clock", "_cpu_clock", "_next_id",
-                 "_stack")
+                 "_stack", "_sink", "sink_error")
 
     enabled = True
 
@@ -195,6 +214,7 @@ class Tracer:
         clock: Callable[[], float] = time.perf_counter,
         cpu_clock: Callable[[], float] = time.process_time,
         proc: str = "main",
+        sink: Optional[Callable[[dict], None]] = None,
     ):
         self.events: List[dict] = []
         self.proc = proc
@@ -202,6 +222,8 @@ class Tracer:
         self._cpu_clock = cpu_clock
         self._next_id = 0
         self._stack: List[int] = []
+        self._sink = sink
+        self.sink_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -209,6 +231,40 @@ class Tracer:
     def span(self, kind: str, **attrs) -> Span:
         """A context manager timing one *kind* interval."""
         return Span(self, kind, attrs)
+
+    def instant(self, kind: str, **attrs) -> None:
+        """Record a zero-duration point event (heartbeat, marker)."""
+        span_id = self._next_id
+        self._next_id += 1
+        now = self._clock()
+        self._emit(
+            {
+                "v": TRACE_SCHEMA_VERSION,
+                "kind": kind,
+                "id": span_id,
+                "parent": self._stack[-1] if self._stack else -1,
+                "proc": self.proc,
+                "start": now,
+                "end": now,
+                "dur": 0.0,
+                "cpu": 0.0,
+                "attrs": attrs,
+            }
+        )
+
+    def set_sink(self, sink: Optional[Callable[[dict], None]]) -> None:
+        """Install (or clear) the per-event sink hook."""
+        self._sink = sink
+
+    def _emit(self, event: dict) -> None:
+        self.events.append(event)
+        sink = self._sink
+        if sink is not None:
+            try:
+                sink(event)
+            except Exception as exc:  # sinks must never break the run
+                self._sink = None
+                self.sink_error = exc
 
     # ------------------------------------------------------------------
     # Multi-process plumbing
@@ -225,7 +281,11 @@ class Tracer:
         id)`` stays unique and durations stay exact; only ordering
         across clock domains is approximate.
         """
-        self.events.extend(events)
+        if self._sink is None:
+            self.events.extend(events)
+        else:
+            for event in events:
+                self._emit(event)
 
     # ------------------------------------------------------------------
     # Export
@@ -275,21 +335,44 @@ def validate_trace_event(event: dict) -> None:
         raise ValueError(f"attrs must be a dict: {event['attrs']!r}")
 
 
-def read_jsonl(path) -> List[dict]:
-    """Load and validate a trace file; returns the event dicts."""
+def read_jsonl(
+    path,
+    tolerant: bool = False,
+    on_warning: Optional[Callable[[str], None]] = None,
+) -> List[dict]:
+    """Load and validate a trace file; returns the event dicts.
+
+    With ``tolerant=True`` a malformed **final** line — the normal
+    end-state of a streaming trace whose writer was killed mid-write —
+    is dropped with a warning (via *on_warning*) instead of raising.
+    Malformed lines anywhere else still raise: they mean corruption,
+    not truncation.
+    """
     events: List[dict] = []
     with open(path) as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
-            try:
-                validate_trace_event(event)
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}") from exc
-            events.append(event)
+        lines = handle.readlines()
+    last_nonempty = 0
+    for lineno, line in enumerate(lines, start=1):
+        if line.strip():
+            last_nonempty = lineno
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+            validate_trace_event(event)
+        except (json.JSONDecodeError, ValueError) as exc:
+            if tolerant and lineno == last_nonempty:
+                if on_warning is not None:
+                    on_warning(
+                        f"{path}:{lineno}: dropping truncated trailing "
+                        f"line ({exc})"
+                    )
+                break
+            kind = "not JSON" if isinstance(exc, json.JSONDecodeError) else ""
+            prefix = f"{path}:{lineno}: "
+            msg = f"{prefix}not JSON: {exc}" if kind else f"{prefix}{exc}"
+            raise ValueError(msg) from exc
+        events.append(event)
     return events

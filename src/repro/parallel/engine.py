@@ -472,6 +472,10 @@ class SpeculativeEngine:
         self.worker_faults = 0
         self.shards_redispatched = 0
         self.degraded_to_serial = 0
+        #: Liveness traffic: heartbeat marks reaped from shard metas
+        #: and watchdog-flagged stalls (``health.*`` namespace).
+        self.heartbeats = 0
+        self.stalls = 0
         #: Passes whose speculation was abandoned outright because the
         #: executor itself failed; the pass then evaluates every pair
         #: live (the serial path), so only throughput is lost.
@@ -535,7 +539,11 @@ class SpeculativeEngine:
             if sim_ref is None:
                 sim_ref = sim_filter.sim.snapshot()
         payload = make_payload(
-            network, config, sim_ref, trace=tracer.enabled
+            network,
+            config,
+            sim_ref,
+            trace=tracer.enabled,
+            heartbeat_dir=config.heartbeat_dir,
         )
         self.snapshot_bytes += len(payload)
         self.executor = make_executor(
@@ -544,6 +552,7 @@ class SpeculativeEngine:
             config.parallel_backend,
             injection=inject.active(),
             max_retries=config.max_shard_retries,
+            stall_timeout=config.stall_timeout_seconds,
         )
         self._shipped = capture_states(network)
         self._base_states = dict(self._shipped)
@@ -607,9 +616,13 @@ class SpeculativeEngine:
         self.worker_faults += executor.worker_faults
         self.shards_redispatched += executor.shards_redispatched
         self.degraded_to_serial += executor.degraded_to_serial
+        self.heartbeats += executor.heartbeats
+        self.stalls += executor.stalls
         executor.worker_faults = 0
         executor.shards_redispatched = 0
         executor.degraded_to_serial = 0
+        executor.heartbeats = 0
+        executor.stalls = 0
         self.phase_seconds["worker_build"] += executor.worker_build_seconds
         self.phase_seconds["evaluate"] += executor.evaluate_seconds
         executor.worker_build_seconds = 0.0

@@ -92,6 +92,8 @@ class SerialExecutor:
     worker_faults = 0
     shards_redispatched = 0
     degraded_to_serial = 0
+    #: An in-process worker cannot stall behind a pipe.
+    stalls = 0
     #: Evaluation happens inline during :meth:`submit`; the dispatcher
     #: uses a window of 1 (pipelining has nothing to overlap).
     concurrent = False
@@ -104,6 +106,10 @@ class SerialExecutor:
         self.trace_events: List[dict] = []
         self.worker_build_seconds = self._context.build_seconds
         self.evaluate_seconds = 0.0
+        #: One liveness mark per evaluated shard, mirroring the
+        #: process backend's piggybacked heartbeats, so ``health.*``
+        #: reads consistently across backends.
+        self.heartbeats = 0
 
     # -- persistent submit/reap API ------------------------------------
     def submit(
@@ -119,6 +125,7 @@ class SerialExecutor:
             list(pairs), batch_index=index, deltas=tuple(deltas)
         )
         self.evaluate_seconds += time.perf_counter() - start
+        self.heartbeats += 1
         self.trace_events.extend(self._context.tracer.drain())
 
     def result(self, index: int) -> List[PairOutcome]:
@@ -166,17 +173,32 @@ class ProcessExecutor:
         n_jobs: int,
         injection=None,
         max_retries: int = 2,
+        stall_timeout: Optional[float] = None,
     ):
         self.workers = n_jobs
         self.max_retries = max_retries
         self.worker_faults = 0
         self.shards_redispatched = 0
         self.degraded_to_serial = 0
+        #: Heartbeat marks piggybacked on reaped shard metas, and
+        #: shards the watchdog flagged as silent past *stall_timeout*.
+        self.heartbeats = 0
+        self.stalls = 0
         self.trace_events: List[dict] = []
         self.worker_build_seconds = 0.0
         self.evaluate_seconds = 0.0
         self._payload = payload
         self._injection = injection
+        self._watchdog = None
+        if stall_timeout is not None:
+            # Imported here (not at module top) to keep the worker
+            # pickle graph identical with the watchdog disabled.
+            from repro.obs.health import StallWatchdog
+
+            self._watchdog = StallWatchdog(stall_timeout)
+        #: Set when a stall made the live pool suspect: its teardown
+        #: must not wait on a wedged worker (see ``_shutdown_pool``).
+        self._pool_suspect = False
         self._tasks: Dict[int, _Task] = {}
         self._inflight: Dict[int, object] = {}
         self._failed: List[int] = []
@@ -198,9 +220,31 @@ class ProcessExecutor:
             initargs=(self._payload, self._injection),
         )
 
+    def _shutdown_pool(self, pool, cancel: bool) -> None:
+        """Tear one pool down; never block behind a wedged worker.
+
+        A pool flagged suspect by the stall watchdog may hold a worker
+        that will not finish its task for an arbitrarily long time, so
+        ``shutdown(wait=True)`` (the default) could hang the main
+        process on exactly the fault the watchdog contained.  For
+        suspect pools, shut down without waiting and terminate the
+        worker processes directly.
+        """
+        if not self._pool_suspect:
+            pool.shutdown(cancel_futures=cancel)
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        self._pool_suspect = False
+
     def _rebuild_pool(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(cancel_futures=True)
+            self._shutdown_pool(self._pool, cancel=True)
             self._pool = None
         if self._injection is not None and not self._injection.persistent:
             self._injection = None
@@ -217,7 +261,7 @@ class ProcessExecutor:
         self._fallback = None
         pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(cancel_futures=cancel)
+            self._shutdown_pool(pool, cancel=cancel)
 
     def __enter__(self) -> "ProcessExecutor":
         return self
@@ -249,6 +293,9 @@ class ProcessExecutor:
         except Exception:
             # Pool already broken: defer to the next failure wave.
             self._failed.append(task.index)
+            return
+        if self._watchdog is not None:
+            self._watchdog.note_dispatch(task.index)
 
     def result(self, index: int) -> List[PairOutcome]:
         """Block until shard *index* is done; climb the ladder if it
@@ -257,14 +304,50 @@ class ProcessExecutor:
             self._step(index)
         return self._results.pop(index)
 
+    def _reap(self, index: int, future) -> bool:
+        """Wait for one future and record it; returns success.
+
+        With the watchdog armed the wait is bounded: a shard silent
+        past the threshold is flagged as a ``stall`` (counted, traced)
+        and joins the failure wave like any other worker fault — the
+        same ladder (redispatch on a fresh pool → in-process fallback)
+        contains wedged workers exactly as it contains dead ones.
+        """
+        watchdog = self._watchdog
+        timeout = None if watchdog is None else watchdog.threshold_seconds
+        try:
+            value = future.result(timeout=timeout)
+        except TimeoutError:
+            if watchdog is None:
+                # No watchdog armed: a worker-raised TimeoutError is
+                # just a worker fault like any other exception.
+                self._failed.append(index)
+                return False
+            self.stalls += 1
+            self._pool_suspect = True
+            self.trace_events.append(
+                watchdog.flag_stall(
+                    index, retries=self._tasks[index].retries
+                )
+            )
+            future.cancel()
+            self._failed.append(index)
+            return False
+        except Exception:
+            if watchdog is not None:
+                watchdog.note_result(index)
+            self._failed.append(index)
+            return False
+        if watchdog is not None:
+            watchdog.note_result(index)
+        self._record(index, value)
+        return True
+
     def _step(self, index: int) -> None:
         future = self._inflight.pop(index, None)
         if future is not None:
-            try:
-                self._record(index, future.result())
+            if self._reap(index, future):
                 return
-            except Exception:
-                self._failed.append(index)
         elif index not in self._failed:
             raise KeyError(f"shard {index} was never submitted")
         self._run_failure_wave()
@@ -283,6 +366,7 @@ class ProcessExecutor:
         self.trace_events.extend(events)
         self.worker_build_seconds += meta.get("build_seconds", 0.0)
         self.evaluate_seconds += meta.get("eval_seconds", 0.0)
+        self.heartbeats += int(meta.get("heartbeat", 0))
 
     def _run_failure_wave(self) -> None:
         """Handle every failure discovered so far in one sweep.
@@ -294,10 +378,7 @@ class ProcessExecutor:
         shards that exhausted their retries.
         """
         for other, future in list(self._inflight.items()):
-            try:
-                self._record(other, future.result())
-            except Exception:
-                self._failed.append(other)
+            self._reap(other, future)
             del self._inflight[other]
         if not self._failed:
             return
@@ -384,6 +465,7 @@ def make_executor(
     backend: str,
     injection=None,
     max_retries: int = 2,
+    stall_timeout: Optional[float] = None,
 ):
     """Build the configured executor over a snapshot *payload*."""
     backend = resolve_backend(backend)
@@ -392,7 +474,11 @@ def make_executor(
     if backend == "process":
         try:
             return ProcessExecutor(
-                payload, n_jobs, injection=injection, max_retries=max_retries
+                payload,
+                n_jobs,
+                injection=injection,
+                max_retries=max_retries,
+                stall_timeout=stall_timeout,
             )
         except (ImportError, OSError):
             # No usable multiprocessing (e.g. sandboxed /dev/shm):

@@ -15,8 +15,10 @@ Hooks and where they fire:
 * ``raise_on_batch`` — the worker raises ``RuntimeError`` (a
   per-future failure without losing the pool).  Worker processes only.
 * ``sleep_on_batch`` — the worker stalls for ``sleep_seconds`` (slow
-  shard; exercises deadline budgets against straggling workers).
-  Worker processes only.
+  shard; exercises deadline budgets against straggling workers, and —
+  with ``stall_timeout_seconds`` armed — the executor's stall
+  watchdog, which flags the silent shard and feeds it into the same
+  containment ladder as a worker fault).  Worker processes only.
 * ``corrupt_on_batch`` — the first profitable
   :class:`~repro.core.division.DivisionResult` in that batch has its
   substituted cover complemented: structurally valid, picklable, and

@@ -106,6 +106,7 @@ def run_method(
     config_overrides: Optional[Dict[str, object]] = None,
     budget=None,
     tracer=None,
+    bus=None,
 ) -> Dict[str, object]:
     """Apply one substitution method in place; returns lit/cpu stats
     (plus the full :class:`SubstitutionStats` under ``"stats"`` and the
@@ -120,9 +121,23 @@ def run_method(
     rejected for configless methods).  *tracer* is an optional
     :class:`~repro.obs.tracer.Tracer` threaded through the whole run;
     like the other knobs it requires a :class:`DivisionConfig` method —
-    SIS resub has no span instrumentation.
+    SIS resub has no span instrumentation.  *bus* is an optional
+    :class:`~repro.obs.stream.TelemetryBus`: its ``publish`` is
+    composed into the tracer's per-event sink (alongside any sink the
+    caller already installed) so embedding services can subscribe to
+    the live span stream without touching the tracer themselves.
     """
     tracer = as_tracer(tracer)
+    if bus is not None:
+        if not tracer.enabled:
+            raise ValueError("run_method: bus requires a real tracer")
+        existing = getattr(tracer, "_sink", None)
+        if existing is None:
+            tracer.set_sink(bus.publish)
+        else:
+            from repro.obs.stream import fanout
+
+            tracer.set_sink(fanout(existing, bus.publish))
     config = METHOD_CONFIGS.get(method)
     if config_overrides or budget is not None or tracer.enabled:
         if config is None:

@@ -19,9 +19,12 @@ pytestmark = pytest.mark.skipif(
 
 from repro.bench.obsbench import (
     DEFAULT_RESULT_PATH,
+    LIVE_OVERHEAD_BOUND,
     OVERHEAD_BOUND,
+    bus_event_cost,
     null_span_cost,
     run_obs_overhead_benchmark,
+    streaming_event_cost,
 )
 
 
@@ -33,12 +36,35 @@ def test_disabled_tracer_overhead_under_bound_on_rnd8():
         f"disabled tracing bound {report['max_overhead_bound']:.4%} "
         f"exceeds {OVERHEAD_BOUND:.0%}"
     )
+    assert report["max_live_overhead_bound"] < LIVE_OVERHEAD_BOUND, (
+        f"enabled-bus bound {report['max_live_overhead_bound']:.4%} "
+        f"exceeds {LIVE_OVERHEAD_BOUND:.0%}"
+    )
     on_disk = json.loads(DEFAULT_RESULT_PATH.read_text())
     assert on_disk["benchmark"] == "obs_overhead"
     row = on_disk["circuits"][0]
     assert row["circuit"] == "rnd8"
     assert row["spans"] > 0
     assert row["disabled_wall_seconds"] > 0
+    assert row["bus_event_cost_ns"] > 0
+    assert row["streaming_event_cost_ns"] > 0
+
+
+@pytest.mark.bench_smoke
+def test_bus_event_cost_is_micro():
+    # The --live bus path (fan-out + progress fold) rides every span;
+    # keep it a few microseconds so thousands of spans stay invisible
+    # next to a sub-second run.
+    assert bus_event_cost(iterations=5_000) < 1e-5
+
+
+@pytest.mark.bench_smoke
+def test_streaming_event_cost_is_bounded():
+    # Informational bound on the sink: serialization plus a flushed
+    # line.  Not overhead relative to the old write-at-end export
+    # (same bytes, paid earlier) — this guards against a regression
+    # to e.g. re-serializing or fsyncing per event.
+    assert streaming_event_cost(iterations=5_000) < 1e-4
 
 
 @pytest.mark.bench_smoke

@@ -26,9 +26,11 @@ pytestmark = pytest.mark.trace
 
 
 def _comparable(stats: SubstitutionStats) -> dict:
-    """Stats minus wall-clock noise (cpu_seconds, budget timings)."""
+    """Stats minus environment noise (timings, memory, GC activity)."""
     data = dataclasses.asdict(stats)
     data.pop("cpu_seconds")
+    data.pop("peak_rss_bytes", None)
+    data.pop("gc_collections", None)
     report = data.get("budget_report")
     if report is not None:
         report.pop("elapsed_seconds", None)

@@ -1,0 +1,136 @@
+"""Heartbeat files, staleness scan, and the stall watchdog."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.health import (
+    HEARTBEAT_SUFFIX,
+    StallWatchdog,
+    WATCHDOG_PROC,
+    heartbeat_path,
+    read_heartbeats,
+    stale_workers,
+    write_heartbeat,
+)
+from repro.obs.tracer import validate_trace_event
+
+
+class TestHeartbeatFiles:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = write_heartbeat(
+            str(tmp_path), pid=123, batch=7, pairs_done=42,
+            generation=3, clock=lambda: 1000.0,
+        )
+        assert path == heartbeat_path(str(tmp_path), 123)
+        assert path.endswith(HEARTBEAT_SUFFIX)
+        beats = read_heartbeats(str(tmp_path))
+        assert beats == [
+            {"v": 1, "pid": 123, "ts": 1000.0, "batch": 7,
+             "pairs_done": 42, "generation": 3}
+        ]
+
+    def test_overwrite_in_place_keeps_one_file_per_pid(self, tmp_path):
+        for batch in range(3):
+            write_heartbeat(
+                str(tmp_path), pid=99, batch=batch, pairs_done=batch,
+                generation=0,
+            )
+        assert len(os.listdir(tmp_path)) == 1
+        assert read_heartbeats(str(tmp_path))[0]["batch"] == 2
+
+    def test_creates_directory_on_demand(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        assert write_heartbeat(
+            str(nested), pid=1, batch=0, pairs_done=0, generation=0
+        ) is not None
+        assert read_heartbeats(str(nested))
+
+    def test_write_failure_returns_none(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        assert write_heartbeat(
+            str(blocker), pid=1, batch=0, pairs_done=0, generation=0
+        ) is None
+
+    def test_read_skips_corrupt_and_foreign_files(self, tmp_path):
+        write_heartbeat(
+            str(tmp_path), pid=5, batch=1, pairs_done=1, generation=0
+        )
+        (tmp_path / f"worker-6{HEARTBEAT_SUFFIX}").write_text("{trunc")
+        (tmp_path / "notes.txt").write_text("ignored")
+        beats = read_heartbeats(str(tmp_path))
+        assert [b["pid"] for b in beats] == [5]
+
+    def test_read_missing_directory_is_empty(self, tmp_path):
+        assert read_heartbeats(str(tmp_path / "gone")) == []
+
+    def test_stale_workers_threshold(self, tmp_path):
+        write_heartbeat(
+            str(tmp_path), pid=1, batch=0, pairs_done=0, generation=0,
+            clock=lambda: 100.0,
+        )
+        write_heartbeat(
+            str(tmp_path), pid=2, batch=0, pairs_done=0, generation=0,
+            clock=lambda: 109.0,
+        )
+        stale = stale_workers(str(tmp_path), 5.0, now=110.0)
+        assert [b["pid"] for b in stale] == [1]
+        assert stale_workers(str(tmp_path), 15.0, now=110.0) == []
+
+    def test_heartbeat_record_is_json_line_friendly(self, tmp_path):
+        path = write_heartbeat(
+            str(tmp_path), pid=1, batch=0, pairs_done=0, generation=0
+        )
+        with open(path) as handle:
+            assert isinstance(json.load(handle), dict)
+
+
+class TestStallWatchdog:
+    def _watchdog(self, threshold=2.0, start=100.0):
+        ticks = {"now": start}
+        watchdog = StallWatchdog(threshold, clock=lambda: ticks["now"])
+        return watchdog, ticks
+
+    def test_silence_measures_since_dispatch(self):
+        watchdog, ticks = self._watchdog()
+        watchdog.note_dispatch(0)
+        ticks["now"] = 103.5
+        assert watchdog.silence(0) == pytest.approx(3.5)
+        assert watchdog.silence(99) == 0.0
+
+    def test_note_result_clears_the_shard(self):
+        watchdog, ticks = self._watchdog()
+        watchdog.note_dispatch(0)
+        watchdog.note_result(0)
+        ticks["now"] = 200.0
+        assert watchdog.silence(0) == 0.0
+        watchdog.note_result(0)  # idempotent
+
+    def test_flag_stall_event_shape(self):
+        watchdog, ticks = self._watchdog(threshold=1.5)
+        watchdog.note_dispatch(3)
+        ticks["now"] = 104.0
+        event = watchdog.flag_stall(3, retries=2)
+        validate_trace_event(event)
+        assert event["kind"] == "stall"
+        assert event["proc"] == WATCHDOG_PROC
+        assert event["dur"] == 0.0
+        assert event["attrs"] == {
+            "shard": 3,
+            "silent_seconds": pytest.approx(4.0),
+            "threshold_seconds": 1.5,
+            "retries": 2,
+        }
+        assert watchdog.stalls_flagged == 1
+
+    def test_flag_stall_ids_are_unique(self):
+        watchdog, _ = self._watchdog()
+        ids = {watchdog.flag_stall(i)["id"] for i in range(5)}
+        assert len(ids) == 5
+        assert watchdog.stalls_flagged == 5
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            StallWatchdog(0.0)

@@ -1,0 +1,278 @@
+"""LiveProgress folding, follow_trace, TailReporter."""
+
+import io
+
+import pytest
+
+from repro.obs.live import (
+    LiveProgress,
+    TailReporter,
+    _format_bytes,
+    _format_eta,
+    follow_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def _event(kind, attrs=None, **overrides):
+    event = {
+        "v": 1,
+        "kind": kind,
+        "id": overrides.pop("id", 0),
+        "parent": -1,
+        "proc": "main",
+        "start": 0.0,
+        "end": 1.0,
+        "dur": 1.0,
+        "cpu": 0.5,
+        "attrs": attrs or {},
+    }
+    event.update(overrides)
+    return event
+
+
+def _progress(**kwargs):
+    ticks = {"now": 0.0}
+
+    def clock():
+        ticks["now"] += 0.5
+        return ticks["now"]
+
+    stream = io.StringIO()
+    progress = LiveProgress(
+        stream=stream, clock=clock, min_interval=0.0, **kwargs
+    )
+    return progress, stream
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert _format_bytes(512) == "512B"
+        assert _format_bytes(2048) == "2.0KB"
+        assert _format_bytes(3 * 1024 * 1024) == "3.0MB"
+        assert _format_bytes(5 * 1024 ** 3) == "5.0GB"
+
+    def test_format_eta(self):
+        assert _format_eta(0) == "0:00"
+        assert _format_eta(65) == "1:05"
+        assert _format_eta(-3) == "0:00"
+
+
+class TestLiveProgress:
+    def test_folds_counters_from_event_stream(self):
+        progress, stream = _progress(initial_literals=100)
+        progress.on_event(_event("pair"))
+        progress.on_event(_event("pair"))
+        progress.on_event(_event("divide"))
+        progress.on_event(
+            _event("commit", {"accepted": True, "gain": 3})
+        )
+        progress.on_event(_event("pass", {"index": 0, "accepted": 1}))
+        assert progress.pairs == 2
+        assert progress.divides == 1
+        assert progress.commits == 1
+        assert progress.gain == 3
+        assert progress.passes == 1
+        line = stream.getvalue()
+        assert "pairs 2" in line
+        assert "lits ~97" in line
+
+    def test_rejected_commit_gain_not_counted(self):
+        progress, _ = _progress()
+        progress.on_event(
+            _event("commit", {"accepted": False, "gain": 5})
+        )
+        assert progress.commits == 1
+        assert progress.gain == 0
+
+    def test_speculate_announces_pass_total_for_eta(self):
+        progress, stream = _progress()
+        progress.on_event(_event("speculate", {"pairs": 50}))
+        assert progress.total_pairs_this_pass == 50
+        progress.on_event(_event("pair"))
+        assert "eta" in stream.getvalue()
+        # A closing pass resets the in-pass total.
+        progress.on_event(_event("pass", {"index": 0}))
+        assert progress.total_pairs_this_pass is None
+
+    def test_resource_heartbeat_stall_and_run(self):
+        progress, stream = _progress()
+        progress.on_event(
+            _event("resource_sample", {"rss_bytes": 2 * 1024 * 1024})
+        )
+        progress.on_event(_event("heartbeat", {"pid": 1}))
+        progress.on_event(_event("stall", {"shard": 0}))
+        progress.on_event(_event("run", {"circuit": "c"}))
+        assert progress.rss_bytes == 2 * 1024 * 1024
+        assert progress.heartbeats == 1
+        assert progress.stalls == 1
+        assert progress.finished
+        text = stream.getvalue()
+        assert "rss 2.0MB" in text
+        assert "hb 1" in text
+        assert "STALLS 1" in text
+
+    def test_close_releases_the_line_with_newline(self):
+        progress, stream = _progress()
+        progress.on_event(_event("pair"))
+        progress.close()
+        assert stream.getvalue().endswith("\n")
+
+    def test_rate_limit_skips_repaints(self):
+        ticks = {"now": 0.0}
+        stream = io.StringIO()
+        progress = LiveProgress(
+            stream=stream, clock=lambda: ticks["now"], min_interval=10.0
+        )
+        progress.on_event(_event("pair"))
+        first = stream.getvalue()
+        progress.on_event(_event("pair"))
+        assert stream.getvalue() == first  # within the interval
+
+    def test_broken_stream_never_raises(self):
+        class Broken(io.StringIO):
+            def write(self, text):
+                raise OSError("gone")
+
+        progress = LiveProgress(stream=Broken(), min_interval=0.0)
+        progress.on_event(_event("pair"))
+        progress.close()
+
+
+class TestFollowTrace:
+    def _trace_file(self, tmp_path, torn_tail=False):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer()
+        with tracer.span("run", circuit="c", accepted=2):
+            with tracer.span("pass", index=0, accepted=2):
+                with tracer.span("pair", f="a", d="b"):
+                    pass
+        tracer.export_jsonl(str(path))
+        if torn_tail:
+            text = path.read_text()
+            path.write_text(text[: len(text) - 30])
+        return path
+
+    def test_no_follow_replays_and_stops_at_run(self, tmp_path):
+        path = self._trace_file(tmp_path)
+        seen = []
+        delivered = follow_trace(str(path), seen.append, follow=False)
+        assert delivered == 3
+        assert [e["kind"] for e in seen] == ["pair", "pass", "run"]
+
+    def test_torn_tail_warned_and_dropped(self, tmp_path):
+        path = self._trace_file(tmp_path, torn_tail=True)
+        warnings = []
+        seen = []
+        delivered = follow_trace(
+            str(path), seen.append, follow=False,
+            on_warning=warnings.append,
+        )
+        assert delivered == 2
+        assert [e["kind"] for e in seen] == ["pair", "pass"]
+        assert len(warnings) == 1
+        assert "truncated" in warnings[0]
+
+    def test_follow_mode_picks_up_appended_lines(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer()
+        with tracer.span("pass", index=0):
+            pass
+        with tracer.span("run", circuit="c"):
+            pass
+        first, second = tracer.events
+        path.write_text(json.dumps(first, sort_keys=True) + "\n")
+
+        seen = []
+        appended = {"done": False}
+
+        def lazy_sleep(_seconds):
+            # The poll loop hit EOF; append the run span to wake it.
+            if not appended["done"]:
+                with open(path, "a") as handle:
+                    handle.write(json.dumps(second, sort_keys=True) + "\n")
+                appended["done"] = True
+
+        delivered = follow_trace(
+            str(path), seen.append, follow=True, poll_seconds=0.01,
+            sleep=lazy_sleep,
+        )
+        assert delivered == 2
+        assert seen[-1]["kind"] == "run"
+
+    def test_max_idle_gives_up(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        ticks = {"now": 0.0}
+
+        def clock():
+            return ticks["now"]
+
+        def sleep(seconds):
+            ticks["now"] += seconds
+
+        delivered = follow_trace(
+            str(path), lambda e: None, follow=True, poll_seconds=0.5,
+            max_idle_seconds=2.0, sleep=sleep, clock=clock,
+        )
+        assert delivered == 0
+
+    def test_bad_complete_line_is_skipped_with_warning(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer()
+        with tracer.span("run", circuit="c"):
+            pass
+        path.write_text(
+            "{garbage}\n" + json.dumps(tracer.events[0], sort_keys=True)
+            + "\n"
+        )
+        warnings = []
+        seen = []
+        delivered = follow_trace(
+            str(path), seen.append, follow=False,
+            on_warning=warnings.append,
+        )
+        assert delivered == 1
+        assert seen[0]["kind"] == "run"
+        assert len(warnings) == 1
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            follow_trace(str(tmp_path / "gone.jsonl"), lambda e: None)
+
+
+class TestTailReporter:
+    def test_prints_pass_stall_and_run_lines(self):
+        progress, _ = _progress()
+        stream = io.StringIO()
+        reporter = TailReporter(progress, stream=stream)
+        reporter.on_event(
+            _event("pass", {"index": 0, "accepted": 3}, dur=1.25)
+        )
+        reporter.on_event(
+            _event("stall", {"shard": 2, "silent_seconds": 4.0})
+        )
+        reporter.on_event(
+            _event("run", {"circuit": "rnd1", "accepted": 3}, dur=9.0)
+        )
+        text = stream.getvalue()
+        assert "pass 0: accepted 3 (1.25s)" in text
+        assert "stall: shard 2 silent 4.0s" in text
+        assert "run finished: circuit rnd1, 3 accepted, 9.00s" in text
+        assert reporter.events_seen == 3
+        # Events also reach the underlying progress counters.
+        assert progress.passes == 1
+        assert progress.stalls == 1
+        assert progress.finished
+
+    def test_fine_grained_events_only_update_progress(self):
+        progress, _ = _progress()
+        stream = io.StringIO()
+        reporter = TailReporter(progress, stream=stream)
+        reporter.on_event(_event("pair"))
+        assert stream.getvalue() == ""
+        assert progress.pairs == 1

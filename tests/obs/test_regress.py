@@ -180,6 +180,58 @@ class TestWallTimes:
         assert report.as_dict()["ok"] is False
 
 
+class TestResourceGauges:
+    def _with_rss(self, snap, rss):
+        snap = copy.deepcopy(snap)
+        snap["gauges"]["process.peak_rss_bytes"] = rss
+        return snap
+
+    def test_ignored_without_slack(self):
+        report = compare_snapshots(
+            self._with_rss(snapshot(), 1000),
+            self._with_rss(snapshot(), 99_000),
+        )
+        assert report.ok
+
+    def test_within_slack_passes(self):
+        report = compare_snapshots(
+            self._with_rss(snapshot(), 1000),
+            self._with_rss(snapshot(), 1100),
+            time_slack_pct=20.0,
+        )
+        assert report.ok
+
+    def test_beyond_slack_fails(self):
+        report = compare_snapshots(
+            self._with_rss(snapshot(), 1000),
+            self._with_rss(snapshot(), 1500),
+            time_slack_pct=20.0,
+        )
+        assert not report.ok
+        (regression,) = report.time_regressions
+        assert regression.metric == "process.peak_rss_bytes"
+        assert "+50.0%" in regression.note
+
+    def test_zero_base_means_unreadable_and_is_skipped(self):
+        # A base machine without /proc records 0; that must not flag
+        # every candidate run as an infinite regression.
+        report = compare_snapshots(
+            self._with_rss(snapshot(), 0),
+            self._with_rss(snapshot(), 50_000),
+            time_slack_pct=10.0,
+        )
+        assert report.ok
+
+    def test_resource_gauges_never_gated_exactly(self):
+        from repro.obs.regress import (
+            DETERMINISTIC_GAUGES as gauges,
+            RESOURCE_GAUGES,
+        )
+
+        assert not set(RESOURCE_GAUGES) & set(gauges)
+        assert not set(RESOURCE_GAUGES) & set(DETERMINISTIC_COUNTERS)
+
+
 class TestExtraction:
     def test_raw_snapshot(self):
         assert extract_snapshot(snapshot()) == snapshot()

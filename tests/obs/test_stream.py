@@ -1,0 +1,223 @@
+"""TelemetryBus, Subscription, StreamingJsonlSink, sink containment."""
+
+import json
+
+import pytest
+
+from repro.obs.stream import (
+    StreamingJsonlSink,
+    Subscription,
+    TelemetryBus,
+    fanout,
+)
+from repro.obs.tracer import Tracer, read_jsonl
+
+
+def _clock_pair():
+    wall = iter(float(i) for i in range(10_000))
+    cpu = iter(float(i) / 10 for i in range(10_000))
+    return (lambda: next(wall)), (lambda: next(cpu))
+
+
+class TestSubscription:
+    def test_push_drain_roundtrip(self):
+        sub = Subscription()
+        sub.push({"id": 1})
+        sub.push({"id": 2})
+        assert len(sub) == 2
+        assert [e["id"] for e in sub.drain()] == [1, 2]
+        assert len(sub) == 0
+        assert sub.drain() == []
+
+    def test_bounded_queue_drops_oldest_and_counts(self):
+        sub = Subscription(maxlen=3)
+        for i in range(5):
+            sub.push({"id": i})
+        assert sub.dropped == 2
+        assert [e["id"] for e in sub.drain()] == [2, 3, 4]
+
+    def test_rejects_nonpositive_maxlen(self):
+        with pytest.raises(ValueError):
+            Subscription(maxlen=0)
+
+
+class TestTelemetryBus:
+    def test_publish_fans_out_to_all_subscribers(self):
+        bus = TelemetryBus()
+        sub_a = bus.subscribe()
+        sub_b = bus.subscribe(maxlen=8)
+        pushed = []
+        bus.attach(pushed.append)
+        bus.publish({"id": 7})
+        assert [e["id"] for e in sub_a.drain()] == [7]
+        assert [e["id"] for e in sub_b.drain()] == [7]
+        assert [e["id"] for e in pushed] == [7]
+        assert bus.published == 1
+
+    def test_publish_after_close_is_noop(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        bus.close()
+        assert bus.closed
+        bus.publish({"id": 1})
+        assert bus.published == 0
+        assert len(sub) == 0
+
+    def test_bus_publish_is_a_valid_tracer_sink(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        wall, cpu = _clock_pair()
+        tracer = Tracer(clock=wall, cpu_clock=cpu, sink=bus.publish)
+        with tracer.span("pass", index=0):
+            pass
+        events = sub.drain()
+        assert len(events) == 1
+        assert events[0]["kind"] == "pass"
+        assert events[0] == tracer.events[0]
+
+
+class TestStreamingJsonlSink:
+    def test_bytes_identical_to_export_jsonl(self, tmp_path):
+        """The crash-durable file equals the write-at-end export."""
+        streamed = tmp_path / "streamed.jsonl"
+        exported = tmp_path / "exported.jsonl"
+        wall, cpu = _clock_pair()
+        sink = StreamingJsonlSink(str(streamed))
+        tracer = Tracer(clock=wall, cpu_clock=cpu, sink=sink)
+        with tracer.span("run", circuit="c"):
+            with tracer.span("pass", index=0):
+                with tracer.span("pair", f="a", d="b"):
+                    pass
+            tracer.instant("heartbeat", pid=1)
+        sink.close()
+        tracer.export_jsonl(str(exported))
+        assert streamed.read_bytes() == exported.read_bytes()
+        assert sink.events_written == len(tracer.events)
+        assert read_jsonl(str(streamed)) == tracer.events
+
+    def test_flush_every_line_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = StreamingJsonlSink(str(path))
+        sink({"v": 1, "kind": "pair", "id": 0, "parent": -1,
+              "proc": "main", "start": 0.0, "end": 0.0, "dur": 0.0,
+              "cpu": 0.0, "attrs": {}})
+        # Without closing: the line must already be on disk.
+        assert path.read_text().count("\n") == 1
+        sink.close()
+        assert sink.closed
+
+    def test_write_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = StreamingJsonlSink(str(path))
+        sink.close()
+        sink({"id": 1})
+        assert path.read_text() == ""
+        assert sink.events_written == 0
+
+    def test_context_manager_closes(self, tmp_path):
+        with StreamingJsonlSink(str(tmp_path / "t.jsonl")) as sink:
+            assert not sink.closed
+        assert sink.closed
+
+    def test_rejects_nonpositive_flush_cadence(self, tmp_path):
+        with pytest.raises(ValueError):
+            StreamingJsonlSink(str(tmp_path / "t.jsonl"), flush_every=0)
+
+
+class TestSinkContainment:
+    def test_failing_sink_is_detached_not_fatal(self):
+        """A broken sink must never take the optimization down."""
+        calls = []
+
+        def bad_sink(event):
+            calls.append(event)
+            raise OSError("disk full")
+
+        wall, cpu = _clock_pair()
+        tracer = Tracer(clock=wall, cpu_clock=cpu, sink=bad_sink)
+        with tracer.span("pass", index=0):
+            pass
+        with tracer.span("pass", index=1):
+            pass
+        # First event hit the sink and detached it; second didn't.
+        assert len(calls) == 1
+        assert isinstance(tracer.sink_error, OSError)
+        # The in-memory trace is still complete.
+        assert [e["attrs"]["index"] for e in tracer.events] == [0, 1]
+
+    def test_fanout_composes_sinks_in_order(self):
+        seen = []
+        sink = fanout(
+            lambda e: seen.append(("a", e["id"])),
+            lambda e: seen.append(("b", e["id"])),
+        )
+        sink({"id": 1})
+        assert seen == [("a", 1), ("b", 1)]
+
+    def test_fanout_of_one_is_identity(self):
+        def only(event):
+            pass
+
+        assert fanout(only) is only
+
+
+class TestTolerantReadJsonl:
+    def _write_events(self, path, truncate_tail=False):
+        wall, cpu = _clock_pair()
+        tracer = Tracer(clock=wall, cpu_clock=cpu)
+        with tracer.span("run", circuit="c"):
+            with tracer.span("pass", index=0):
+                pass
+        tracer.export_jsonl(str(path))
+        if truncate_tail:
+            text = path.read_text()
+            path.write_text(text[: len(text) - 25])
+        return tracer.events
+
+    def test_truncated_trailing_line_dropped_with_warning(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_events(path, truncate_tail=True)
+        warnings = []
+        events = read_jsonl(
+            str(path), tolerant=True, on_warning=warnings.append
+        )
+        assert len(events) == 1
+        assert events[0]["kind"] == "pass"
+        assert len(warnings) == 1
+        assert "truncated" in warnings[0]
+
+    def test_strict_mode_still_rejects_truncation(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_events(path, truncate_tail=True)
+        with pytest.raises(ValueError):
+            read_jsonl(str(path))
+
+    def test_tolerant_mode_rejects_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_events(path)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-20]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            read_jsonl(str(path), tolerant=True)
+
+    def test_tolerant_mode_passes_clean_files_through(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        expected = self._write_events(path)
+        warnings = []
+        events = read_jsonl(
+            str(path), tolerant=True, on_warning=warnings.append
+        )
+        assert events == expected
+        assert warnings == []
+
+
+def test_stream_module_is_json_clean(tmp_path):
+    # Events with non-ASCII attrs must roundtrip through the sink.
+    path = tmp_path / "t.jsonl"
+    with StreamingJsonlSink(str(path)) as sink:
+        sink({"v": 1, "kind": "pair", "id": 0, "parent": -1,
+              "proc": "müller", "start": 0.0, "end": 0.0, "dur": 0.0,
+              "cpu": 0.0, "attrs": {"node": "ü"}})
+    line = path.read_text().strip()
+    assert json.loads(line)["proc"] == "müller"
